@@ -1,0 +1,61 @@
+// Ablation C — Trajectory prefetching (paper Sec. VII, future work).
+//
+// "We can extrapolate the trajectory of jobs in time and space ... to predict
+// which data atoms are accessed by subsequent queries." This ablation runs a
+// tracking-heavy workload with prefetching off and on, across prefetch
+// budgets, and reports prediction accuracy, speculative reads, response time
+// and throughput — the payoff comes from converting the cold first read of
+// each step's region into a cache hit issued ahead of the query.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+    using namespace jaws;
+    const std::size_t jobs = bench::jobs_from_args(argc, argv, 120);
+
+    core::EngineConfig base = bench::base_config();
+    base.cache.capacity_atoms = 512;  // prefetched atoms must survive to pay off
+    const field::SyntheticField field(base.field);
+
+    // Tracking-heavy: multi-step ordered jobs with smooth trajectories, at
+    // light load — prefetching can only mask latency with idle disk time to
+    // spend, so this is the interactive-exploration regime, not saturation.
+    workload::WorkloadSpec wspec = bench::base_workload_spec();
+    wspec.jobs = jobs;
+    wspec.frac_single_step = 0.0;
+    wspec.frac_full_span = 0.4;
+    wspec.drift_scale = 8.0;
+    wspec.mean_burst_gap_s = 240.0;
+    wspec.mean_intra_burst_gap_s = 60.0;
+    wspec.mean_think_time_s = 4.0;
+    const workload::Workload workload = workload::generate_workload(wspec, base.grid, field);
+    std::printf("# Ablation C: trajectory prefetching; %zu tracking jobs, %zu queries\n\n",
+                workload.jobs.size(), workload.total_queries());
+
+    std::printf("%-14s %10s %12s %10s %10s %10s %8s\n", "prefetch", "tp(q/s)",
+                "rt_mean(ms)", "hit%", "reads", "spec", "acc%");
+    const std::size_t budgets[] = {0, 2, 4, 8, 16};
+    for (const std::size_t budget : budgets) {
+        core::EngineConfig config = base;
+        config.scheduler = bench::jaws2_spec();
+        config.prefetch.enabled = budget > 0;
+        config.prefetch.max_atoms_per_batch = budget;
+        const core::RunReport r = bench::run_one(config, workload);
+        char label[24];
+        std::snprintf(label, sizeof label, budget ? "%zu/batch" : "off", budget);
+        std::printf("%-14s %10.3f %12.1f %9.1f%% %10llu %10llu %7.1f%%\n", label,
+                    r.busy_throughput_qps, r.mean_response_ms,
+                    100.0 * r.cache.hit_rate(),
+                    static_cast<unsigned long long>(r.atom_reads),
+                    static_cast<unsigned long long>(r.prefetch.prefetches),
+                    100.0 * r.prefetch.accuracy());
+        std::fflush(stdout);
+    }
+    std::printf(
+        "\n(raw prediction quality is ~75%% on tracking footprints — see\n"
+        " tests/prefetcher_test.cpp — but end-to-end conversion is bounded by\n"
+        " idle disk time and by cache churn between prefetch and use: on a\n"
+        " single saturated spindle, speculation cannot add capacity, it can\n"
+        " only trade cache residency for latency masking. The interesting\n"
+        " columns are hit%% (rises with budget) and acc%% (the conversion rate).)\n");
+    return 0;
+}

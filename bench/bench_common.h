@@ -1,0 +1,94 @@
+// Shared experiment-harness plumbing for the bench binaries.
+//
+// Every bench reproduces one table or figure of the paper against the same
+// baseline configuration: the paper-scale dataset geometry (1024^3 grid,
+// 4096 atoms/step, 31 steps), a 2 GB (256-atom) cache, k = 15, alpha_0 = 0.5,
+// and the calibrated synthetic trace. Benches accept an optional job-count
+// argument (and honour JAWS_BENCH_JOBS) so CI can run them quickly while the
+// recorded results use the full scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+#include "workload/generator.h"
+
+namespace jaws::bench {
+
+/// Baseline engine configuration used by every experiment.
+inline core::EngineConfig base_config() {
+    core::EngineConfig config;  // defaults are already paper-scale
+    return config;
+}
+
+/// Baseline workload spec (the "50k-query week" analogue).
+inline workload::WorkloadSpec base_workload_spec() {
+    workload::WorkloadSpec spec;
+    spec.jobs = 1000;
+    spec.seed = 7;
+    return spec;
+}
+
+/// Job count from argv[1] or JAWS_BENCH_JOBS, defaulting to `fallback`.
+inline std::size_t jobs_from_args(int argc, char** argv, std::size_t fallback) {
+    if (argc > 1) return std::strtoull(argv[1], nullptr, 10);
+    if (const char* env = std::getenv("JAWS_BENCH_JOBS"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
+
+/// The five scheduler columns of Fig. 10.
+inline core::SchedulerSpec noshare_spec() {
+    core::SchedulerSpec s;
+    s.kind = core::SchedulerKind::kNoShare;
+    return s;
+}
+
+inline core::SchedulerSpec liferaft_spec(double alpha) {
+    core::SchedulerSpec s;
+    s.kind = core::SchedulerKind::kLifeRaft;
+    s.liferaft_alpha = alpha;
+    return s;
+}
+
+/// JAWS_1: two-level + adaptive alpha, no job-awareness.
+inline core::SchedulerSpec jaws1_spec(std::size_t k = 15) {
+    core::SchedulerSpec s;
+    s.kind = core::SchedulerKind::kJaws;
+    s.jaws.batch_size_k = k;
+    s.jaws.job_aware = false;
+    return s;
+}
+
+/// JAWS_2: everything on.
+inline core::SchedulerSpec jaws2_spec(std::size_t k = 15) {
+    core::SchedulerSpec s;
+    s.kind = core::SchedulerKind::kJaws;
+    s.jaws.batch_size_k = k;
+    s.jaws.job_aware = true;
+    return s;
+}
+
+/// Run one configuration against `workload` and return the report.
+inline core::RunReport run_one(const core::EngineConfig& config,
+                               const workload::Workload& workload) {
+    core::Engine engine(config);
+    return engine.run(workload);
+}
+
+/// Print a standard table header/row for scheduler comparisons.
+inline void print_report_header() {
+    std::printf("%-22s %10s %12s %12s %8s %10s %8s\n", "scheduler", "tp(q/s)", "rt_mean(ms)",
+                "rt_p95(ms)", "hit%", "reads", "alpha");
+}
+
+inline void print_report_row(const core::RunReport& r) {
+    std::printf("%-22s %10.3f %12.1f %12.1f %7.1f%% %10llu %8.2f\n",
+                r.scheduler_name.c_str(), r.busy_throughput_qps, r.mean_response_ms,
+                r.p95_response_ms, 100.0 * r.cache.hit_rate(),
+                static_cast<unsigned long long>(r.atom_reads), r.final_alpha);
+}
+
+}  // namespace jaws::bench

@@ -1,0 +1,58 @@
+// Fig. 10 — Query throughput by scheduling algorithm.
+//
+// Paper result: JAWS_2 improves query throughput ~2.6x over NoShare; removing
+// job-awareness (JAWS_1) costs ~30%; two-level scheduling contributes ~12%
+// (JAWS_1 over LifeRaft_2); contention ordering contributes ~22% (LifeRaft_2
+// over LifeRaft_1). This bench runs the five systems on the same calibrated
+// trace and prints the throughput column plus the paper's derived ratios.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+    using namespace jaws;
+    const std::size_t jobs = bench::jobs_from_args(argc, argv, 400);
+
+    core::EngineConfig base = bench::base_config();
+    const field::SyntheticField field(base.field);
+    workload::WorkloadSpec wspec = bench::base_workload_spec();
+    wspec.jobs = jobs;
+    const workload::Workload workload = workload::generate_workload(wspec, base.grid, field);
+    std::printf("# Fig. 10 reproduction: %zu jobs, %zu queries\n", workload.jobs.size(),
+                workload.total_queries());
+
+    struct Row {
+        const char* label;
+        core::SchedulerSpec spec;
+        core::RunReport report;
+    };
+    Row rows[] = {
+        {"NoShare", bench::noshare_spec(), {}},
+        {"LifeRaft_1 (a=1)", bench::liferaft_spec(1.0), {}},
+        {"LifeRaft_2 (a=0)", bench::liferaft_spec(0.0), {}},
+        {"JAWS_1 (no job-aware)", bench::jaws1_spec(), {}},
+        {"JAWS_2 (full)", bench::jaws2_spec(), {}},
+    };
+
+    bench::print_report_header();
+    for (Row& row : rows) {
+        core::EngineConfig config = base;
+        config.scheduler = row.spec;
+        row.report = bench::run_one(config, workload);
+        row.report.scheduler_name = row.label;
+        bench::print_report_row(row.report);
+    }
+
+    const double noshare = rows[0].report.busy_throughput_qps;
+    const double lr1 = rows[1].report.busy_throughput_qps;
+    const double lr2 = rows[2].report.busy_throughput_qps;
+    const double jaws1 = rows[3].report.busy_throughput_qps;
+    const double jaws2 = rows[4].report.busy_throughput_qps;
+    std::printf("\n# ratios (paper targets in parentheses)\n");
+    std::printf("JAWS_2 / NoShare     = %.2fx  (~2.6x)\n", jaws2 / noshare);
+    std::printf("JAWS_2 / JAWS_1      = %.2fx  (~1.43x: job-awareness ~30%% drop)\n",
+                jaws2 / jaws1);
+    std::printf("JAWS_1 / LifeRaft_2  = %.2fx  (~1.12x: two-level ~12%%)\n", jaws1 / lr2);
+    std::printf("LifeRaft_2/LifeRaft_1= %.2fx  (~1.22x: contention ordering ~22%%)\n",
+                lr2 / lr1);
+    std::printf("JAWS_2 / LifeRaft_2  = %.2fx  (~1.6x overall)\n", jaws2 / lr2);
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 11 — Sensitivity of performance to varying workload saturation.
+//
+// The speed-up knob compresses inter-job arrival gaps (speed-up 2 turns a
+// 2-minute gap into 1 minute). Paper results: (a) JAWS_2 and LifeRaft_2 keep
+// scaling with saturation while NoShare and LifeRaft_1 plateau early;
+// (b) response times — NoShare is worst throughout, LifeRaft_2 starves
+// queries even at low saturation, and JAWS adapts: it approaches LifeRaft_2's
+// throughput when saturated and beats LifeRaft_1's response time at the
+// lowest saturation.
+#include "bench_common.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+    using namespace jaws;
+    const std::size_t jobs = bench::jobs_from_args(argc, argv, 250);
+
+    core::EngineConfig base = bench::base_config();
+    const field::SyntheticField field(base.field);
+    workload::WorkloadSpec wspec = bench::base_workload_spec();
+    wspec.jobs = jobs;
+    // The base trace is the saturated operating point; sweep both downward
+    // (idle system) and upward (overload).
+    const workload::Workload original =
+        workload::generate_workload(wspec, base.grid, field);
+    std::printf("# Fig. 11 reproduction: %zu jobs, %zu queries per cell\n",
+                original.jobs.size(), original.total_queries());
+
+    struct System {
+        const char* label;
+        core::SchedulerSpec spec;
+    };
+    const System systems[] = {
+        {"NoShare", bench::noshare_spec()},
+        {"LifeRaft_1", bench::liferaft_spec(1.0)},
+        {"LifeRaft_2", bench::liferaft_spec(0.0)},
+        {"JAWS_2", bench::jaws2_spec()},
+    };
+    const double speedups[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+
+    std::printf("\n(a) query throughput (queries per busy second)\n");
+    std::printf("%-12s", "speedup");
+    for (const auto& s : systems) std::printf(" %12s", s.label);
+    std::printf("\n");
+
+    // Cache the reports for the response-time table.
+    std::vector<std::vector<core::RunReport>> grid(std::size(speedups));
+    for (std::size_t i = 0; i < std::size(speedups); ++i) {
+        workload::Workload w = original;
+        workload::apply_speedup(w, speedups[i]);
+        std::printf("%-12.2f", speedups[i]);
+        for (const auto& s : systems) {
+            core::EngineConfig config = base;
+            config.scheduler = s.spec;
+            grid[i].push_back(bench::run_one(config, w));
+            std::printf(" %12.3f", grid[i].back().busy_throughput_qps);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(b) mean query response time (seconds)\n");
+    std::printf("%-12s", "speedup");
+    for (const auto& s : systems) std::printf(" %12s", s.label);
+    std::printf("\n");
+    for (std::size_t i = 0; i < std::size(speedups); ++i) {
+        std::printf("%-12.2f", speedups[i]);
+        for (const auto& r : grid[i]) std::printf(" %12.1f", r.mean_response_ms / 1000.0);
+        std::printf("\n");
+    }
+
+    std::printf("\n(adaptive alpha at end of run, JAWS_2 column)\n");
+    std::printf("%-12s %8s\n", "speedup", "alpha");
+    for (std::size_t i = 0; i < std::size(speedups); ++i)
+        std::printf("%-12.2f %8.2f\n", speedups[i], grid[i].back().final_alpha);
+    return 0;
+}

@@ -1,0 +1,169 @@
+// Micro-benchmarks of the core primitives (google-benchmark).
+//
+// Not a paper figure: these pin the per-operation costs behind the
+// experiment harnesses — Morton coding, the Needleman-Wunsch alignment, the
+// B+ tree access path, replacement-policy operations and workload-queue
+// maintenance — so performance regressions in the substrate are visible.
+#include <benchmark/benchmark.h>
+
+#include "cache/buffer_cache.h"
+#include "cache/lru_k.h"
+#include "cache/slru.h"
+#include "sched/alignment.h"
+#include "sched/workload_manager.h"
+#include "storage/bptree.h"
+#include "util/morton.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace jaws;
+
+void BM_MortonEncode(benchmark::State& state) {
+    util::Rng rng(1);
+    std::uint32_t x = 0, y = 0, z = 0;
+    for (auto _ : state) {
+        x = static_cast<std::uint32_t>(rng()) & 0x1fffff;
+        y = x ^ 0x5555;
+        z = x ^ 0xaaaa;
+        benchmark::DoNotOptimize(util::morton_encode(x, y, z));
+    }
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_MortonRoundTrip(benchmark::State& state) {
+    util::Rng rng(2);
+    for (auto _ : state) {
+        const std::uint64_t code = rng() & ((1ULL << 63) - 1);
+        benchmark::DoNotOptimize(util::morton_encode(util::morton_decode(code)));
+    }
+}
+BENCHMARK(BM_MortonRoundTrip);
+
+void BM_MortonBoxCover(benchmark::State& state) {
+    const auto side = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            util::morton_box_cover({0, 0, 0}, {side - 1, side - 1, side - 1}));
+    }
+    state.SetItemsProcessed(state.iterations() * side * side * side);
+}
+BENCHMARK(BM_MortonBoxCover)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BptreeInsert(benchmark::State& state) {
+    for (auto _ : state) {
+        state.PauseTiming();
+        storage::BPlusTree tree;
+        util::Rng rng(3);
+        state.ResumeTiming();
+        for (int i = 0; i < state.range(0); ++i)
+            tree.insert(rng(), storage::DiskExtent{0, 1});
+        benchmark::DoNotOptimize(tree.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BptreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BptreeFind(benchmark::State& state) {
+    storage::BPlusTree tree;
+    util::Rng rng(4);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 100000; ++i) {
+        keys.push_back(rng());
+        tree.insert(keys.back(), storage::DiskExtent{0, 1});
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.find(keys[i++ % keys.size()]));
+    }
+}
+BENCHMARK(BM_BptreeFind);
+
+void BM_BptreeScan(benchmark::State& state) {
+    storage::BPlusTree tree;
+    std::vector<std::pair<std::uint64_t, storage::DiskExtent>> records;
+    for (std::uint64_t i = 0; i < 100000; ++i)
+        records.emplace_back(i, storage::DiskExtent{i, 1});
+    tree.bulk_load(records);
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        tree.scan(1000, 1000 + static_cast<std::uint64_t>(state.range(0)),
+                  [&](std::uint64_t k, const storage::DiskExtent&) {
+                      sum += k;
+                      return true;
+                  });
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BptreeScan)->Arg(100)->Arg(10000);
+
+workload::Job chain_job(std::size_t m, std::uint64_t seed) {
+    field::GridSpec grid;
+    field::SyntheticField field({seed});
+    workload::WorkloadSpec spec;
+    spec.jobs = 1;
+    spec.seed = seed;
+    spec.frac_single_step = 1.0;
+    spec.frac_full_span = 0.0;
+    spec.frac_ordered_single_step = 1.0;
+    spec.ordered_chain_mu = std::log(static_cast<double>(m));
+    spec.ordered_chain_sigma = 0.0;
+    return workload::generate_workload(spec, grid, field).jobs.front();
+}
+
+void BM_NeedlemanWunsch(benchmark::State& state) {
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const workload::Job a = chain_job(m, 7);
+    const workload::Job b = chain_job(m, 8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sched::align_jobs(a, b));
+    }
+    state.SetItemsProcessed(state.iterations() * m * m);
+}
+BENCHMARK(BM_NeedlemanWunsch)->Arg(16)->Arg(64);
+
+void BM_CachePolicyChurn(benchmark::State& state) {
+    // Insert/evict churn through a full cache, LRU-K vs SLRU.
+    const bool slru = state.range(0) != 0;
+    cache::BufferCache cache(
+        256, slru ? std::unique_ptr<cache::ReplacementPolicy>(
+                        std::make_unique<cache::SlruPolicy>(256))
+                  : std::unique_ptr<cache::ReplacementPolicy>(
+                        std::make_unique<cache::LruKPolicy>()));
+    util::Rng rng(5);
+    for (auto _ : state) {
+        const storage::AtomId atom{static_cast<std::uint32_t>(rng.uniform_u64(31)),
+                                   rng.uniform_u64(4096)};
+        if (!cache.lookup(atom)) cache.insert(atom);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachePolicyChurn)->Arg(0)->Arg(1);
+
+void BM_WorkloadManagerEnqueueDrain(benchmark::State& state) {
+    sched::CostConstants cost;
+    sched::WorkloadManager manager(cost, nullptr, 0.5);
+    util::Rng rng(6);
+    std::uint64_t tick = 0;
+    for (auto _ : state) {
+        sched::SubQuery sub;
+        sub.query = ++tick;
+        sub.atom = storage::AtomId{static_cast<std::uint32_t>(rng.uniform_u64(31)),
+                                   rng.uniform_u64(4096)};
+        sub.positions = 100;
+        sub.enqueue_time = util::SimTime::from_micros(static_cast<std::int64_t>(tick));
+        manager.enqueue(sub);
+        if (tick % 8 == 0) {
+            const auto batch = manager.pick_two_level_batch(15, sub.enqueue_time);
+            for (const auto& atom : batch) benchmark::DoNotOptimize(manager.drain_atom(atom));
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadManagerEnqueueDrain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

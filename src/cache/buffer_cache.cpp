@@ -1,0 +1,90 @@
+#include "cache/buffer_cache.h"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+namespace jaws::cache {
+
+namespace {
+/// RAII timer adding elapsed wall nanoseconds to a counter on destruction.
+class OverheadTimer {
+  public:
+    explicit OverheadTimer(std::uint64_t& sink) noexcept
+        : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+    ~OverheadTimer() {
+        sink_ += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+    }
+
+  private:
+    std::uint64_t& sink_;
+    std::chrono::steady_clock::time_point start_;
+};
+}  // namespace
+
+BufferCache::BufferCache(std::size_t capacity_atoms,
+                         std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_(capacity_atoms == 0 ? 1 : capacity_atoms), policy_(std::move(policy)) {
+    assert(policy_ != nullptr);
+}
+
+bool BufferCache::lookup(const storage::AtomId& atom) {
+    const auto it = resident_.find(atom);
+    if (it == resident_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    OverheadTimer timer(stats_.policy_overhead_ns);
+    policy_->on_access(atom);
+    return true;
+}
+
+std::optional<storage::AtomId> BufferCache::insert(
+    const storage::AtomId& atom, std::shared_ptr<const field::VoxelBlock> payload) {
+    const auto it = resident_.find(atom);
+    if (it != resident_.end()) {
+        if (payload != nullptr) it->second = std::move(payload);
+        return std::nullopt;
+    }
+    std::optional<storage::AtomId> evicted;
+    if (resident_.size() >= capacity_) {
+        OverheadTimer timer(stats_.policy_overhead_ns);
+        const storage::AtomId victim = policy_->pick_victim();
+        policy_->on_evict(victim);
+        const auto erased = resident_.erase(victim);
+        assert(erased == 1);
+        (void)erased;
+        ++stats_.evictions;
+        evicted = victim;
+    }
+    resident_.emplace(atom, std::move(payload));
+    OverheadTimer timer(stats_.policy_overhead_ns);
+    policy_->on_insert(atom);
+    return evicted;
+}
+
+bool BufferCache::contains(const storage::AtomId& atom) const {
+    return resident_.contains(atom);
+}
+
+std::shared_ptr<const field::VoxelBlock> BufferCache::payload(
+    const storage::AtomId& atom) const {
+    const auto it = resident_.find(atom);
+    return it == resident_.end() ? nullptr : it->second;
+}
+
+void BufferCache::run_boundary() {
+    OverheadTimer timer(stats_.policy_overhead_ns);
+    policy_->on_run_boundary();
+}
+
+void BufferCache::clear() {
+    for (const auto& [atom, payload] : resident_) policy_->on_evict(atom);
+    resident_.clear();
+}
+
+}  // namespace jaws::cache

@@ -1,0 +1,84 @@
+// Externally managed atom cache.
+//
+// Mirrors the paper's experimental setup (Sec. VI): a fixed-capacity cache of
+// whole atoms managed outside the database, with a pluggable replacement
+// policy. Capacity is counted in atoms (the production 2 GB cache holds 256
+// 8 MB atoms). The cache measures the wall-clock overhead of every policy
+// call, which is what Table I's "Overhead/Qry" column reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/replacement_policy.h"
+#include "field/grid.h"
+#include "storage/atom.h"
+
+namespace jaws::cache {
+
+/// Hit/miss/eviction accounting plus policy overhead.
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t policy_overhead_ns = 0;  ///< Wall time spent inside the policy.
+
+    double hit_rate() const noexcept {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+    }
+};
+
+/// Fixed-capacity cache of atoms with pluggable replacement.
+class BufferCache {
+  public:
+    /// `capacity_atoms` must be >= 1; the cache takes ownership of `policy`.
+    BufferCache(std::size_t capacity_atoms, std::unique_ptr<ReplacementPolicy> policy);
+
+    /// Probe for `atom`. On a hit, notifies the policy and returns true.
+    /// On a miss returns false (caller performs the I/O and calls insert).
+    bool lookup(const storage::AtomId& atom);
+
+    /// Make `atom` resident (with optional payload), evicting if full.
+    /// Inserting an already-resident atom just refreshes its payload.
+    /// Returns the evicted victim, if any, so callers can propagate the
+    /// residency change (phi flip) to the scheduler.
+    std::optional<storage::AtomId> insert(
+        const storage::AtomId& atom,
+        std::shared_ptr<const field::VoxelBlock> payload = nullptr);
+
+    /// Whether `atom` is resident (no policy notification; no stats change).
+    bool contains(const storage::AtomId& atom) const;
+
+    /// Payload of a resident atom (null if absent or payload-less).
+    std::shared_ptr<const field::VoxelBlock> payload(const storage::AtomId& atom) const;
+
+    /// Forward a run boundary to the policy (SLRU promotion point).
+    void run_boundary();
+
+    /// Drop everything (between experiment repetitions).
+    void clear();
+
+    /// Number of resident atoms.
+    std::size_t size() const noexcept { return resident_.size(); }
+    /// Capacity in atoms.
+    std::size_t capacity() const noexcept { return capacity_; }
+    /// Accounting so far.
+    const CacheStats& stats() const noexcept { return stats_; }
+    /// Reset accounting (residency is kept).
+    void reset_stats() noexcept { stats_ = CacheStats{}; }
+    /// Name of the installed policy.
+    std::string policy_name() const { return policy_->name(); }
+
+  private:
+    std::size_t capacity_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::unordered_map<storage::AtomId, std::shared_ptr<const field::VoxelBlock>,
+                       storage::AtomIdHash>
+        resident_;
+    CacheStats stats_;
+};
+
+}  // namespace jaws::cache

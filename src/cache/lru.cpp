@@ -1,0 +1,31 @@
+#include "cache/lru.h"
+
+#include <cassert>
+
+namespace jaws::cache {
+
+void LruPolicy::on_insert(const storage::AtomId& atom) {
+    assert(!where_.contains(atom));
+    order_.push_front(atom);
+    where_[atom] = order_.begin();
+}
+
+void LruPolicy::on_access(const storage::AtomId& atom) {
+    const auto it = where_.find(atom);
+    assert(it != where_.end());
+    order_.splice(order_.begin(), order_, it->second);
+}
+
+storage::AtomId LruPolicy::pick_victim() {
+    assert(!order_.empty());
+    return order_.back();
+}
+
+void LruPolicy::on_evict(const storage::AtomId& atom) {
+    const auto it = where_.find(atom);
+    assert(it != where_.end());
+    order_.erase(it->second);
+    where_.erase(it);
+}
+
+}  // namespace jaws::cache

@@ -1,0 +1,32 @@
+// Plain least-recently-used replacement.
+//
+// Not evaluated in the paper's Table I by itself, but the natural baseline
+// below LRU-K and the building block SLRU's segments are made of; also used
+// by tests to pin down BufferCache semantics.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/replacement_policy.h"
+
+namespace jaws::cache {
+
+/// Classic LRU: evict the least recently inserted-or-accessed atom.
+class LruPolicy final : public ReplacementPolicy {
+  public:
+    void on_insert(const storage::AtomId& atom) override;
+    void on_access(const storage::AtomId& atom) override;
+    storage::AtomId pick_victim() override;
+    void on_evict(const storage::AtomId& atom) override;
+    std::string name() const override { return "LRU"; }
+
+  private:
+    // Front = most recently used; back = victim.
+    std::list<storage::AtomId> order_;
+    std::unordered_map<storage::AtomId, std::list<storage::AtomId>::iterator,
+                       storage::AtomIdHash>
+        where_;
+};
+
+}  // namespace jaws::cache

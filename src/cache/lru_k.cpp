@@ -1,0 +1,67 @@
+#include "cache/lru_k.h"
+
+#include <cassert>
+#include <limits>
+
+namespace jaws::cache {
+
+LruKPolicy::LruKPolicy(unsigned k, std::size_t retained_history)
+    : k_(k == 0 ? 1 : k), retained_cap_(retained_history) {}
+
+void LruKPolicy::touch(const storage::AtomId& atom) {
+    History& h = history_[atom];
+    h.refs.push_front(++tick_);
+    while (h.refs.size() > k_) h.refs.pop_back();
+}
+
+std::uint64_t LruKPolicy::kth_ref(const History& h) const noexcept {
+    return h.refs.size() < k_ ? 0 : h.refs.back();
+}
+
+void LruKPolicy::on_insert(const storage::AtomId& atom) {
+    assert(!resident_.contains(atom));
+    resident_.insert(atom);
+    touch(atom);
+}
+
+void LruKPolicy::on_access(const storage::AtomId& atom) {
+    assert(resident_.contains(atom));
+    touch(atom);
+}
+
+storage::AtomId LruKPolicy::pick_victim() {
+    assert(!resident_.empty());
+    // Evict the resident atom with the oldest (smallest) K-th reference;
+    // atoms with fewer than K references (kth_ref == 0) are preferred, with
+    // the least recent first reference breaking ties.
+    const storage::AtomId* victim = nullptr;
+    std::uint64_t best_k = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t best_recent = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& atom : resident_) {
+        const History& h = history_.at(atom);
+        const std::uint64_t kd = kth_ref(h);
+        const std::uint64_t recent = h.refs.front();
+        if (kd < best_k || (kd == best_k && recent < best_recent)) {
+            best_k = kd;
+            best_recent = recent;
+            victim = &atom;
+        }
+    }
+    return *victim;
+}
+
+void LruKPolicy::on_evict(const storage::AtomId& atom) {
+    const auto erased = resident_.erase(atom);
+    assert(erased == 1);
+    (void)erased;
+    // Retain the history per LRU-K so a quick re-admission keeps its rank,
+    // but bound the table.
+    retained_fifo_.push_back(atom);
+    while (retained_fifo_.size() > retained_cap_) {
+        const storage::AtomId old = retained_fifo_.front();
+        retained_fifo_.pop_front();
+        if (!resident_.contains(old)) history_.erase(old);
+    }
+}
+
+}  // namespace jaws::cache

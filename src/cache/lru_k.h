@@ -1,0 +1,53 @@
+// LRU-K replacement (O'Neil, O'Neil & Weikum, SIGMOD '93).
+//
+// The paper's baseline: SQL Server's page replacement is "a variant of LRU-K"
+// (Sec. II / Table I). LRU-K evicts the page whose K-th most recent reference
+// is oldest — pages referenced fewer than K times rank as infinitely old, so
+// one-shot scans cannot flush frequently reused atoms. We keep a bounded
+// retained-history table for recently evicted atoms, as the original paper
+// prescribes, so re-admitted atoms do not lose their reference history.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/replacement_policy.h"
+
+namespace jaws::cache {
+
+/// LRU-K with retained history. K defaults to 2 (the classical choice).
+class LruKPolicy final : public ReplacementPolicy {
+  public:
+    /// `k` >= 1; `retained_history` bounds the number of evicted atoms whose
+    /// reference history we remember.
+    explicit LruKPolicy(unsigned k = 2, std::size_t retained_history = 4096);
+
+    void on_insert(const storage::AtomId& atom) override;
+    void on_access(const storage::AtomId& atom) override;
+    storage::AtomId pick_victim() override;
+    void on_evict(const storage::AtomId& atom) override;
+    std::string name() const override { return "LRU-" + std::to_string(k_); }
+
+  private:
+    struct History {
+        // Most recent reference first; at most k_ entries.
+        std::deque<std::uint64_t> refs;
+    };
+
+    void touch(const storage::AtomId& atom);
+    /// Backward K-distance: the time of the K-th most recent reference, or 0
+    /// ("infinitely old") if the atom has fewer than K references.
+    std::uint64_t kth_ref(const History& h) const noexcept;
+
+    unsigned k_;
+    std::size_t retained_cap_;
+    std::uint64_t tick_ = 0;
+    std::unordered_map<storage::AtomId, History, storage::AtomIdHash> history_;
+    std::unordered_set<storage::AtomId, storage::AtomIdHash> resident_;
+    // FIFO of evicted atoms whose history is retained, for bounded cleanup.
+    std::deque<storage::AtomId> retained_fifo_;
+};
+
+}  // namespace jaws::cache

@@ -1,0 +1,59 @@
+// Replacement-policy interface and the scheduler-knowledge oracle.
+//
+// JAWS manages a 2 GB atom cache externally from the database (paper Sec. VI)
+// and studies three policies: the LRU-K baseline (what SQL Server uses),
+// SLRU, and URC. URC "coordinates caching decisions with scheduling" — it
+// needs the scheduler's workload-throughput ranking, which it obtains through
+// the UtilityOracle interface implemented by the workload manager. Keeping
+// the oracle abstract lets the cache library stay independent of any specific
+// scheduler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/atom.h"
+
+namespace jaws::cache {
+
+/// Read-only view of the scheduler's contention state, consumed by URC.
+class UtilityOracle {
+  public:
+    virtual ~UtilityOracle() = default;
+
+    /// Workload-throughput metric U_t of `atom` (Eq. 1); 0 when no requests
+    /// are pending against it.
+    virtual double atom_utility(const storage::AtomId& atom) const = 0;
+
+    /// Mean U_t over all atoms of time step `t` that have pending work.
+    virtual double timestep_mean_utility(std::uint32_t t) const = 0;
+};
+
+/// Eviction-ordering strategy plugged into BufferCache. The cache owns
+/// membership; the policy only orders it. All hooks refer to resident atoms.
+class ReplacementPolicy {
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /// A new atom became resident.
+    virtual void on_insert(const storage::AtomId& atom) = 0;
+
+    /// A resident atom was accessed (cache hit).
+    virtual void on_access(const storage::AtomId& atom) = 0;
+
+    /// Choose the resident atom to evict. Called only when non-empty.
+    virtual storage::AtomId pick_victim() = 0;
+
+    /// The atom chosen by pick_victim() (or invalidated externally) left the
+    /// cache; forget its residency state.
+    virtual void on_evict(const storage::AtomId& atom) = 0;
+
+    /// End of one workload run (r consecutive queries). SLRU performs its
+    /// protected-segment promotion here; others ignore it.
+    virtual void on_run_boundary() {}
+
+    /// Human-readable policy name for reports.
+    virtual std::string name() const = 0;
+};
+
+}  // namespace jaws::cache

@@ -1,0 +1,57 @@
+#include "cache/urc.h"
+
+#include <cassert>
+#include <limits>
+
+namespace jaws::cache {
+
+void UrcPolicy::on_insert(const storage::AtomId& atom) {
+    assert(!resident_.contains(atom));
+    resident_.insert(atom);
+    last_touch_[atom] = ++tick_;
+}
+
+void UrcPolicy::on_access(const storage::AtomId& atom) {
+    assert(resident_.contains(atom));
+    last_touch_[atom] = ++tick_;
+}
+
+storage::AtomId UrcPolicy::pick_victim() {
+    assert(!resident_.empty());
+    // Rank by (mean U_t of the atom's time step, atom's own U_t, recency):
+    // evict the atom minimising that tuple. A linear scan over residents
+    // (a few hundred atoms) keeps the structure simple; its real cost is
+    // measured by the cache's overhead timer.
+    const storage::AtomId* victim = nullptr;
+    double best_step = std::numeric_limits<double>::max();
+    double best_atom = std::numeric_limits<double>::max();
+    std::uint64_t best_touch = std::numeric_limits<std::uint64_t>::max();
+    std::unordered_map<std::uint32_t, double> step_mean;
+    for (const auto& atom : resident_) {
+        const auto found = step_mean.find(atom.timestep);
+        const double mean = found != step_mean.end()
+                                ? found->second
+                                : (step_mean[atom.timestep] =
+                                       oracle_.timestep_mean_utility(atom.timestep));
+        const double own = oracle_.atom_utility(atom);
+        const std::uint64_t touch = last_touch_.at(atom);
+        const bool better =
+            mean < best_step ||
+            (mean == best_step &&
+             (own < best_atom || (own == best_atom && touch < best_touch)));
+        if (better) {
+            best_step = mean;
+            best_atom = own;
+            best_touch = touch;
+            victim = &atom;
+        }
+    }
+    return *victim;
+}
+
+void UrcPolicy::on_evict(const storage::AtomId& atom) {
+    resident_.erase(atom);
+    last_touch_.erase(atom);
+}
+
+}  // namespace jaws::cache

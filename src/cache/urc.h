@@ -1,0 +1,40 @@
+// Utility Ranked Caching (paper Sec. V-B).
+//
+// URC incorporates full knowledge of pending workload requests: it evicts the
+// atom likely to be used farthest in the future according to the scheduler's
+// own ranking. Because JAWS's two-level framework evaluates a batch of k
+// atoms from one time step together, atoms that will be used together must be
+// cached together — so URC evicts (1) from the resident time step with the
+// lowest *mean* workload throughput, and (2) within that time step, the atom
+// with the lowest individual workload throughput U_t. The ranking is read
+// through the UtilityOracle at eviction time; the measured cost of that read
+// is exactly the "Overhead/Qry" Table I reports for URC.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/replacement_policy.h"
+
+namespace jaws::cache {
+
+/// Scheduler-coordinated eviction. Requires a live oracle outliving the policy.
+class UrcPolicy final : public ReplacementPolicy {
+  public:
+    explicit UrcPolicy(const UtilityOracle& oracle) : oracle_(oracle) {}
+
+    void on_insert(const storage::AtomId& atom) override;
+    void on_access(const storage::AtomId& atom) override;
+    storage::AtomId pick_victim() override;
+    void on_evict(const storage::AtomId& atom) override;
+    std::string name() const override { return "URC"; }
+
+  private:
+    const UtilityOracle& oracle_;
+    std::unordered_set<storage::AtomId, storage::AtomIdHash> resident_;
+    // Recency tick breaks ties among zero-utility atoms (evict oldest first).
+    std::unordered_map<storage::AtomId, std::uint64_t, storage::AtomIdHash> last_touch_;
+    std::uint64_t tick_ = 0;
+};
+
+}  // namespace jaws::cache

@@ -1,0 +1,87 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <future>
+
+#include "core/engine.h"
+#include "util/thread_pool.h"
+
+namespace jaws::core {
+
+std::size_t TurbulenceCluster::node_of(std::uint64_t morton, std::uint64_t atoms_per_step,
+                                       std::size_t nodes) {
+    if (nodes <= 1) return 0;
+    const std::uint64_t per_node = (atoms_per_step + nodes - 1) / nodes;
+    return std::min<std::uint64_t>(morton / per_node, nodes - 1);
+}
+
+std::vector<workload::Workload> TurbulenceCluster::partition(
+    const workload::Workload& workload) const {
+    const std::uint64_t aps = config_.node.grid.atoms_per_step();
+    std::vector<workload::Workload> parts(config_.nodes);
+    for (const auto& job : workload.jobs) {
+        std::vector<workload::Job> projected(config_.nodes);
+        for (std::size_t n = 0; n < config_.nodes; ++n) {
+            projected[n].id = job.id;
+            projected[n].user = job.user;
+            projected[n].type = job.type;
+            projected[n].arrival = job.arrival;
+        }
+        for (const auto& q : job.queries) {
+            // Split the footprint by owning node.
+            std::vector<std::vector<workload::AtomRequest>> split(config_.nodes);
+            for (const auto& req : q.footprint)
+                split[node_of(req.atom.morton, aps, config_.nodes)].push_back(req);
+            for (std::size_t n = 0; n < config_.nodes; ++n) {
+                if (split[n].empty()) continue;
+                workload::Query part = q;
+                part.footprint = std::move(split[n]);
+                part.positions.clear();  // scheduling-scale runs are descriptor-only
+                part.seq_in_job = static_cast<std::uint32_t>(projected[n].queries.size());
+                projected[n].queries.push_back(std::move(part));
+            }
+        }
+        for (std::size_t n = 0; n < config_.nodes; ++n)
+            if (!projected[n].queries.empty())
+                parts[n].jobs.push_back(std::move(projected[n]));
+    }
+    return parts;
+}
+
+ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
+    const std::vector<workload::Workload> parts = partition(workload);
+
+    util::ThreadPool pool(std::min<std::size_t>(config_.nodes, 8));
+    std::vector<std::future<RunReport>> futures;
+    futures.reserve(parts.size());
+    for (const auto& part : parts) {
+        futures.push_back(pool.submit([this, &part]() -> RunReport {
+            if (part.jobs.empty()) return RunReport{};
+            Engine engine(config_.node);
+            return engine.run(part);
+        }));
+    }
+
+    ClusterReport report;
+    std::size_t total_parts = 0;
+    double weighted_rt = 0.0;
+    std::uint64_t hits = 0, misses = 0;
+    for (auto& f : futures) {
+        report.per_node.push_back(f.get());
+        const RunReport& r = report.per_node.back();
+        report.makespan = std::max(report.makespan, r.makespan);
+        total_parts += r.queries;
+        weighted_rt += r.mean_response_ms * static_cast<double>(r.queries);
+        hits += r.cache.hits;
+        misses += r.cache.misses;
+    }
+    const double seconds = std::max(1e-9, report.makespan.seconds());
+    report.total_throughput_qps = static_cast<double>(total_parts) / seconds;
+    report.mean_response_ms =
+        total_parts ? weighted_rt / static_cast<double>(total_parts) : 0.0;
+    report.cache_hit_rate =
+        (hits + misses) ? static_cast<double>(hits) / static_cast<double>(hits + misses) : 0.0;
+    return report;
+}
+
+}  // namespace jaws::core

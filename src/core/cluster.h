@@ -1,0 +1,59 @@
+// The Turbulence database cluster facade (paper Fig. 7).
+//
+// In production, data are partitioned spatially across nodes, each running
+// its own JAWS instance; incoming queries are split by partition and each
+// node schedules its share independently. This facade reproduces that
+// architecture: atoms are assigned to nodes by contiguous Morton ranges
+// (preserving spatial locality within a node), each job is projected onto
+// every node it touches, and the per-node engines run in parallel on a
+// thread pool. Reported cluster throughput uses the slowest node's virtual
+// makespan — the cluster is done when its last node is.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "workload/job.h"
+
+namespace jaws::core {
+
+/// Cluster-wide configuration: one node template replicated `nodes` times.
+struct ClusterConfig {
+    EngineConfig node;       ///< Per-node stack configuration.
+    std::size_t nodes = 4;   ///< Number of database nodes.
+};
+
+/// Aggregated cluster results.
+struct ClusterReport {
+    std::vector<RunReport> per_node;      ///< One report per node (may be empty runs).
+    util::SimTime makespan;               ///< Slowest node's virtual makespan.
+    double total_throughput_qps = 0.0;    ///< Total query parts / makespan.
+    double mean_response_ms = 0.0;        ///< Query-part weighted mean response.
+    double cache_hit_rate = 0.0;          ///< Aggregate over all nodes.
+};
+
+/// Spatially partitioned multi-node deployment.
+class TurbulenceCluster {
+  public:
+    explicit TurbulenceCluster(const ClusterConfig& config) : config_(config) {}
+
+    /// Node owning the atom with Morton code `morton` under `atoms_per_step`
+    /// atoms per time step split into `nodes` contiguous Morton ranges.
+    static std::size_t node_of(std::uint64_t morton, std::uint64_t atoms_per_step,
+                               std::size_t nodes);
+
+    /// Project `workload` onto each node (queries keep their IDs; footprints
+    /// are filtered to the node's atoms; queries that touch no atom of the
+    /// node are dropped and the job re-sequenced). Exposed for tests.
+    std::vector<workload::Workload> partition(const workload::Workload& workload) const;
+
+    /// Partition, run every node engine in parallel, aggregate.
+    ClusterReport run(const workload::Workload& workload) const;
+
+  private:
+    ClusterConfig config_;
+};
+
+}  // namespace jaws::core

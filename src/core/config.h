@@ -1,0 +1,77 @@
+// Engine configuration: one place to assemble a full JAWS deployment.
+//
+// An EngineConfig describes everything Fig. 7's per-node stack needs: the
+// dataset geometry, the simulated disk, the cost constants of Eq. 1, the
+// buffer cache (capacity + replacement policy), and which scheduler to run
+// (NoShare / LifeRaft with fixed alpha / JAWS with feature switches).
+// Defaults mirror the paper's experimental setup scaled to the 800 GB sample:
+// 31 time steps, 4096 atoms per step, a 2 GB (256-atom) cache, k = 15 and an
+// initial alpha of 0.5.
+#pragma once
+
+#include <cstdint>
+
+#include "field/grid.h"
+#include "field/synthetic_field.h"
+#include "sched/jaws.h"
+#include "sched/prefetcher.h"
+#include "sched/workload_manager.h"
+#include "storage/atom_store.h"
+#include "storage/database_node.h"
+
+namespace jaws::core {
+
+/// Which replacement policy the buffer cache runs (Table I's rows).
+enum class CachePolicy : std::uint8_t { kLru, kLruK, kSlru, kUrc, kTwoQ };
+
+/// Which scheduler drives the node (Fig. 10's columns).
+enum class SchedulerKind : std::uint8_t { kNoShare, kLifeRaft, kJaws };
+
+/// Buffer-cache settings.
+struct CacheSpec {
+    CachePolicy policy = CachePolicy::kLruK;
+    std::size_t capacity_atoms = 256;  ///< 2 GB of 8 MB atoms.
+    double slru_protected_fraction = 0.05;
+    unsigned lru_k = 2;
+    double twoq_in_fraction = 0.25;  ///< A1in share for the 2Q policy.
+};
+
+/// Scheduler selection and parameters.
+struct SchedulerSpec {
+    SchedulerKind kind = SchedulerKind::kJaws;
+    double liferaft_alpha = 0.0;  ///< Fixed alpha for kLifeRaft.
+    sched::JawsConfig jaws;       ///< Parameters for kJaws.
+};
+
+/// Full per-node configuration.
+struct EngineConfig {
+    field::GridSpec grid;
+    field::FieldSpec field;
+    storage::DiskSpec disk;
+    storage::CostModel compute;        ///< Actual per-position cost charged (T_m).
+    sched::CostConstants estimates;    ///< T_b/T_m estimates used by Eq. 1.
+    CacheSpec cache;
+    SchedulerSpec scheduler;
+    std::size_t run_length = 200;      ///< Queries per run (alpha controller + SLRU).
+    bool materialize_data = false;     ///< Synthesize voxel payloads (examples only).
+    sched::PrefetchConfig prefetch;    ///< Trajectory prefetching (Sec. VII).
+
+    /// Virtual seconds per timeline sample in RunReport::timeline; 0 disables
+    /// time-series collection.
+    double timeline_window_s = 0.0;
+
+    /// Cost of fetching one kernel-support ghost region from disk, as a
+    /// fraction of T_b. Charged whenever a sub-query's interpolation kernel
+    /// spills into a neighbour atom that is neither cache-resident nor
+    /// co-scheduled in the same batch (see Engine::execute_one_batch).
+    double support_read_fraction = 0.10;
+
+    /// Virtual cost of one scheduler->database dispatch round trip (batch
+    /// submission, plan setup, clustered-index descent). Charged once per
+    /// non-empty batch: single-atom scheduling pays it per atom, the
+    /// two-level framework amortises it over k atoms, NoShare over a whole
+    /// query.
+    double dispatch_overhead_ms = 5.0;
+};
+
+}  // namespace jaws::core

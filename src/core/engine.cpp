@@ -1,0 +1,378 @@
+#include "core/engine.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "cache/lru.h"
+#include "cache/lru_k.h"
+#include "cache/slru.h"
+#include "cache/two_q.h"
+#include "cache/urc.h"
+#include "sched/jaws.h"
+#include "sched/liferaft.h"
+#include "sched/noshare.h"
+#include "util/logging.h"
+
+namespace jaws::core {
+
+Engine::Engine(const EngineConfig& config)
+    : config_(config),
+      store_(storage::AtomStoreSpec{config.grid, config.field, config.disk,
+                                    config.materialize_data}),
+      db_(config.grid, config.compute) {
+    config_.estimates.atoms_per_step = config_.grid.atoms_per_step();
+    cache_ = std::make_unique<cache::BufferCache>(config.cache.capacity_atoms, make_policy());
+    scheduler_ = make_scheduler();
+    if (config_.prefetch.enabled)
+        prefetcher_ = std::make_unique<sched::TrajectoryPrefetcher>(
+            config_.prefetch, config_.grid.atoms_per_side());
+}
+
+std::unique_ptr<cache::ReplacementPolicy> Engine::make_policy() {
+    switch (config_.cache.policy) {
+        case CachePolicy::kLru:
+            return std::make_unique<cache::LruPolicy>();
+        case CachePolicy::kLruK:
+            return std::make_unique<cache::LruKPolicy>(config_.cache.lru_k);
+        case CachePolicy::kSlru:
+            return std::make_unique<cache::SlruPolicy>(
+                config_.cache.capacity_atoms, config_.cache.slru_protected_fraction);
+        case CachePolicy::kUrc:
+            return std::make_unique<cache::UrcPolicy>(oracle_);
+        case CachePolicy::kTwoQ:
+            return std::make_unique<cache::TwoQPolicy>(config_.cache.capacity_atoms,
+                                                       config_.cache.twoq_in_fraction);
+    }
+    throw std::invalid_argument("unknown cache policy");
+}
+
+std::unique_ptr<sched::Scheduler> Engine::make_scheduler() {
+    switch (config_.scheduler.kind) {
+        case SchedulerKind::kNoShare:
+            return std::make_unique<sched::NoShareScheduler>();
+        case SchedulerKind::kLifeRaft: {
+            auto s = std::make_unique<sched::LifeRaftScheduler>(
+                config_.estimates, cache_.get(), config_.scheduler.liferaft_alpha);
+            oracle_.set(&s->manager());
+            return s;
+        }
+        case SchedulerKind::kJaws: {
+            sched::JawsConfig jc = config_.scheduler.jaws;
+            jc.alpha.run_length = config_.run_length;
+            auto s = std::make_unique<sched::JawsScheduler>(config_.estimates, cache_.get(),
+                                                            jc);
+            oracle_.set(&s->manager());
+            return s;
+        }
+    }
+    throw std::invalid_argument("unknown scheduler kind");
+}
+
+void Engine::submit_job(const workload::Job& job) {
+    scheduler_->on_job_submitted(job);
+    job_remaining_[job.id] = job.queries.size();
+    for (const auto& q : job.queries) {
+        QueryRuntime rt;
+        rt.query = &q;
+        rt.job = &job;
+        rt.outstanding = q.footprint.size();
+        runtime_.emplace(q.id, rt);
+    }
+    if (job.queries.empty()) {
+        job_remaining_.erase(job.id);
+        return;
+    }
+    if (job.type == workload::JobType::kOrdered) {
+        // Only the head is visible; successors appear as predecessors finish.
+        visibility_.push(VisibilityEvent{job.arrival, job.queries.front().id});
+    } else {
+        for (const auto& q : job.queries)
+            visibility_.push(VisibilityEvent{job.arrival + q.think_time, q.id});
+    }
+}
+
+void Engine::make_visible(workload::QueryId id) {
+    QueryRuntime& rt = runtime_.at(id);
+    assert(!rt.visible);
+    rt.visible = true;
+    rt.visible_at = clock_.now();
+    scheduler_->on_query_visible(*rt.query, clock_.now());
+}
+
+void Engine::timeline_tick(util::SimTime now, double response_ms) {
+    if (config_.timeline_window_s <= 0.0) return;
+    const auto window = util::SimTime::from_seconds(config_.timeline_window_s);
+    while (now >= timeline_next_) {
+        TimelinePoint point;
+        point.window_end = timeline_next_;
+        point.completions = window_completions_;
+        point.mean_response_ms =
+            window_completions_
+                ? window_response_ms_sum_ / static_cast<double>(window_completions_)
+                : 0.0;
+        point.alpha = scheduler_->current_alpha();
+        point.backlog_subqueries = scheduler_->pending_count();
+        point.cache_hit_rate = cache_->stats().hit_rate();
+        timeline_.push_back(point);
+        window_completions_ = 0;
+        window_response_ms_sum_ = 0.0;
+        timeline_next_ += window;
+    }
+    if (response_ms >= 0.0) {
+        ++window_completions_;
+        window_response_ms_sum_ += response_ms;
+    }
+}
+
+void Engine::complete_query(QueryRuntime& rt) {
+    const util::SimTime now = clock_.now();
+    timeline_tick(now, (now - rt.visible_at).millis());
+    QueryOutcome outcome;
+    outcome.query = rt.query->id;
+    outcome.job = rt.query->job;
+    outcome.visible = rt.visible_at;
+    outcome.completed = now;
+    outcomes_.push_back(outcome);
+    ++completed_;
+
+    scheduler_->on_query_completed(rt.query->id, outcome.response(), now);
+    if (config_.run_length > 0 && completed_ % config_.run_length == 0)
+        cache_->run_boundary();
+
+    // Ordered successor becomes visible after the user's think time.
+    const workload::Job& job = *rt.job;
+    if (job.type == workload::JobType::kOrdered &&
+        rt.query->seq_in_job + 1 < job.queries.size()) {
+        const workload::Query& next = job.queries[rt.query->seq_in_job + 1];
+        visibility_.push(VisibilityEvent{now + next.think_time, next.id});
+        // Trajectory prefetching (Sec. VII): learn the job's motion and queue
+        // speculative reads for the atoms its next query is predicted to hit.
+        if (prefetcher_ != nullptr) {
+            prefetcher_->observe(job.id, rt.query->seq_in_job, rt.query->timestep,
+                                 rt.query->footprint);
+            for (const storage::AtomId& atom : prefetcher_->predict(job.id))
+                prefetch_queue_.push_back(atom);
+            // Stale predictions (whose target query already ran) are worse
+            // than none: keep only the newest few batches' worth.
+            const std::size_t cap = 8 * prefetcher_->config().max_atoms_per_batch;
+            if (prefetch_queue_.size() > cap)
+                prefetch_queue_.erase(prefetch_queue_.begin(),
+                                      prefetch_queue_.end() -
+                                          static_cast<std::ptrdiff_t>(cap));
+        }
+    } else if (prefetcher_ != nullptr && job.type == workload::JobType::kOrdered) {
+        prefetcher_->forget(job.id);
+    }
+
+    auto it = job_remaining_.find(job.id);
+    assert(it != job_remaining_.end());
+    if (--it->second == 0) {
+        const double span_ms = (now - job.arrival).millis();
+        job_span_ms_sum_ += span_ms;
+        job_spans_.push_back(span_ms);
+        ++jobs_done_;
+        job_remaining_.erase(it);
+    }
+}
+
+bool Engine::ensure_resident(const storage::AtomId& atom) {
+    if (prefetcher_ != nullptr) prefetcher_->on_demand_access(atom);
+    if (cache_->lookup(atom)) return false;
+    storage::ReadResult rr = store_.read(atom);
+    clock_.advance(rr.io_cost);
+    ++atom_reads_;
+    const auto evicted = cache_->insert(atom, std::move(rr.data));
+    scheduler_->on_residency_changed(atom);
+    if (evicted) {
+        scheduler_->on_residency_changed(*evicted);
+        if (prefetcher_ != nullptr) prefetcher_->on_evicted(*evicted);
+    }
+    return true;
+}
+
+void Engine::run_prefetches(util::SimTime until) {
+    // Speculative reads run only while the disk would otherwise sit idle
+    // ("this can also help mask the cost of random reads" — Sec. VII): each
+    // read must fit before the next demand event.
+    if (prefetcher_ == nullptr || prefetch_queue_.empty()) return;
+    const auto est = util::SimTime::from_millis(config_.estimates.t_b_ms);
+    std::size_t issued = 0;
+    while (!prefetch_queue_.empty() &&
+           issued < prefetcher_->config().max_atoms_per_batch &&
+           clock_.now() + est <= until) {
+        const storage::AtomId atom = prefetch_queue_.back();
+        prefetch_queue_.pop_back();
+        if (cache_->contains(atom) || !store_.contains(atom)) continue;
+        storage::ReadResult rr = store_.read(atom);
+        clock_.advance(rr.io_cost);
+        ++atom_reads_;
+        const auto evicted = cache_->insert(atom, std::move(rr.data));
+        scheduler_->on_residency_changed(atom);
+        if (evicted) {
+            scheduler_->on_residency_changed(*evicted);
+            prefetcher_->on_evicted(*evicted);
+        }
+        prefetcher_->on_prefetched(atom);
+        ++issued;
+    }
+}
+
+bool Engine::execute_one_batch() {
+    const std::vector<sched::BatchItem> batch = scheduler_->next_batch(clock_.now());
+    if (batch.empty()) return false;
+    clock_.advance(util::SimTime::from_millis(config_.dispatch_overhead_ms));
+    for (const sched::BatchItem& item : batch) {
+        ++atoms_processed_;
+        ensure_resident(item.atom);
+        // Kernel supports: neighbour atoms the sub-queries draw interpolation
+        // samples from. A cache-resident support costs nothing — and because
+        // supports point at Morton-earlier neighbours, a Morton-ordered batch
+        // has just read them (the locality of reference the two-level
+        // framework exploits, paper Sec. V). A cold support costs a partial
+        // ghost read that is *not* cached, so single-atom contention chasing
+        // pays it again on later passes ("may access the same atom multiple
+        // times on different passes").
+        support_scratch_.clear();
+        for (const sched::SubQuery& sub : item.subqueries)
+            for (const std::uint64_t code : sub.supports)
+                if (code != item.atom.morton) support_scratch_.push_back(code);
+        std::sort(support_scratch_.begin(), support_scratch_.end());
+        support_scratch_.erase(
+            std::unique(support_scratch_.begin(), support_scratch_.end()),
+            support_scratch_.end());
+        for (const std::uint64_t code : support_scratch_) {
+            const storage::AtomId support{item.atom.timestep, code};
+            if (prefetcher_ != nullptr) prefetcher_->on_demand_access(support);
+            if (cache_->lookup(support)) continue;  // ghost served from memory
+            ++support_reads_;
+            clock_.advance(util::SimTime::from_millis(config_.support_read_fraction *
+                                                      config_.estimates.t_b_ms));
+        }
+        const auto payload = cache_->payload(item.atom);
+
+        for (const sched::SubQuery& sub : item.subqueries) {
+            QueryRuntime& rt = runtime_.at(sub.query);
+            storage::SubQueryExec exec;
+            exec.atom = item.atom;
+            exec.position_count = sub.positions;
+            exec.order = rt.query->order;
+            exec.kind = rt.query->kind;
+            if (payload != nullptr && !rt.query->positions.empty()) {
+                // Examples run with real data: evaluate the positions of this
+                // query that fall inside this atom.
+                for (const auto& p : rt.query->positions)
+                    if (config_.grid.atom_morton_of(p) == item.atom.morton)
+                        exec.positions.push_back(p);
+            }
+            const storage::ExecOutcome out = db_.execute(exec, payload.get());
+            clock_.advance(out.compute_cost);
+            ++subqueries_done_;
+            positions_done_ += sub.positions;
+
+            assert(rt.outstanding > 0);
+            if (--rt.outstanding == 0) complete_query(rt);
+        }
+    }
+    return true;
+}
+
+RunReport Engine::run(const workload::Workload& workload) {
+    if (ran_) throw std::logic_error("Engine::run: engine instances are single-shot");
+    ran_ = true;
+
+    const std::size_t total = workload.total_queries();
+    outcomes_.reserve(total);
+    std::size_t next_job = 0;
+    const util::SimTime start =
+        workload.jobs.empty() ? util::SimTime::zero() : workload.jobs.front().arrival;
+    clock_.advance_to(start);
+    if (config_.timeline_window_s > 0.0)
+        timeline_next_ = start + util::SimTime::from_seconds(config_.timeline_window_s);
+
+    while (completed_ < total) {
+        // Admit everything due at the current virtual time.
+        while (next_job < workload.jobs.size() &&
+               workload.jobs[next_job].arrival <= clock_.now()) {
+            submit_job(workload.jobs[next_job]);
+            ++next_job;
+        }
+        while (!visibility_.empty() && visibility_.top().at <= clock_.now()) {
+            const workload::QueryId id = visibility_.top().query;
+            visibility_.pop();
+            make_visible(id);
+        }
+
+        if (scheduler_->has_pending()) {
+            execute_one_batch();
+            continue;
+        }
+
+        // Idle: jump to the next event.
+        util::SimTime next{INT64_MAX};
+        if (next_job < workload.jobs.size())
+            next = std::min(next, workload.jobs[next_job].arrival);
+        if (!visibility_.empty()) next = std::min(next, visibility_.top().at);
+        if (next.micros != INT64_MAX) {
+            // The disk is idle until the next arrival/visibility event: spend
+            // the gap on speculative trajectory reads (Sec. VII).
+            run_prefetches(next);
+            idle_time_ += next - clock_.now();
+            clock_.advance_to(next);
+            continue;
+        }
+
+        // No pending work and no future events: only gated queries remain.
+        if (scheduler_->unstick(clock_.now())) continue;
+        JAWS_LOG_ERROR("engine", "stalled with %zu/%zu queries complete", completed_, total);
+        throw std::runtime_error("Engine::run: scheduler stalled");
+    }
+
+    RunReport report;
+    report.scheduler_name = scheduler_->name();
+    report.cache_policy = cache_->policy_name();
+    report.queries = completed_;
+    report.jobs = workload.jobs.size();
+    report.makespan = clock_.now() - start;
+    const double seconds = std::max(1e-9, report.makespan.seconds());
+    report.throughput_qps = static_cast<double>(completed_) / seconds;
+    report.seconds_per_query = seconds / static_cast<double>(completed_);
+    report.idle_time = idle_time_;
+    const double busy_seconds = std::max(1e-9, seconds - idle_time_.seconds());
+    report.busy_throughput_qps = static_cast<double>(completed_) / busy_seconds;
+    fill_response_stats(outcomes_, report);
+    report.mean_job_span_ms = jobs_done_ ? job_span_ms_sum_ / static_cast<double>(jobs_done_)
+                                         : 0.0;
+    report.cache = cache_->stats();
+    report.cache_overhead_per_query_ms =
+        static_cast<double>(report.cache.policy_overhead_ns) * 1e-6 /
+        std::max<std::size_t>(1, completed_);
+    report.disk = store_.disk_stats();
+    report.atoms_processed = atoms_processed_;
+    report.atom_reads = atom_reads_;
+    report.support_reads = support_reads_;
+    report.subqueries = subqueries_done_;
+    report.positions = positions_done_;
+    report.final_alpha = scheduler_->current_alpha();
+    if (const sched::GatingStats* gs = scheduler_->gating_stats()) report.gating = *gs;
+    if (const sched::QosStats* qs = scheduler_->qos_stats()) report.qos = *qs;
+    if (prefetcher_ != nullptr) report.prefetch = prefetcher_->stats();
+    report.job_span_ms = job_spans_;
+    if (config_.timeline_window_s > 0.0) {
+        // Flush the final partial window.
+        if (window_completions_ > 0) {
+            TimelinePoint point;
+            point.window_end = clock_.now();
+            point.completions = window_completions_;
+            point.mean_response_ms =
+                window_response_ms_sum_ / static_cast<double>(window_completions_);
+            point.alpha = scheduler_->current_alpha();
+            point.backlog_subqueries = scheduler_->pending_count();
+            point.cache_hit_rate = cache_->stats().hit_rate();
+            timeline_.push_back(point);
+        }
+        report.timeline = std::move(timeline_);
+    }
+    return report;
+}
+
+}  // namespace jaws::core

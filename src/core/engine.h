@@ -1,0 +1,142 @@
+// The JAWS engine: one database node's full stack (paper Fig. 7).
+//
+// Wires the query pre-processor, workload manager/scheduler, buffer cache and
+// atom store together and drives a workload to completion under the virtual
+// clock. The engine is the discrete-event simulator substituting for the
+// paper's SQL Server deployment: reading a missed atom charges the disk
+// model's cost, evaluating positions charges T_m, and query arrivals follow
+// the (possibly sped-up) trace. Ordered jobs' data dependencies are enforced
+// here — a query becomes *visible* to the scheduler only when its
+// predecessor has completed and the user's think time has elapsed, exactly
+// the dynamics of a live particle-tracking experiment.
+//
+// An Engine instance executes one workload once; construct a fresh engine
+// per experimental configuration (they are cheap — the dataset is lazy).
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/buffer_cache.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "sched/scheduler.h"
+#include "storage/atom_store.h"
+#include "storage/database_node.h"
+#include "util/sim_time.h"
+#include "workload/job.h"
+
+namespace jaws::core {
+
+/// Single-node engine.
+class Engine {
+  public:
+    explicit Engine(const EngineConfig& config);
+
+    /// Execute `workload` to completion and report. The workload must have
+    /// jobs sorted by arrival time (the generator guarantees it). May be
+    /// called once per engine.
+    RunReport run(const workload::Workload& workload);
+
+    /// Per-query completion records of the finished run (for distribution
+    /// plots and tests). Valid after run().
+    const std::vector<QueryOutcome>& outcomes() const noexcept { return outcomes_; }
+
+    /// Component access (tests, examples).
+    const cache::BufferCache& buffer_cache() const noexcept { return *cache_; }
+    storage::AtomStore& store() noexcept { return store_; }
+    sched::Scheduler& scheduler() noexcept { return *scheduler_; }
+    const util::VirtualClock& clock() const noexcept { return clock_; }
+
+  private:
+    /// Oracle that forwards to the scheduler's workload manager once both
+    /// exist (breaks the cache <-> scheduler construction cycle).
+    class OracleRelay final : public cache::UtilityOracle {
+      public:
+        void set(const cache::UtilityOracle* target) noexcept { target_ = target; }
+        double atom_utility(const storage::AtomId& atom) const override {
+            return target_ != nullptr ? target_->atom_utility(atom) : 0.0;
+        }
+        double timestep_mean_utility(std::uint32_t t) const override {
+            return target_ != nullptr ? target_->timestep_mean_utility(t) : 0.0;
+        }
+
+      private:
+        const cache::UtilityOracle* target_ = nullptr;
+    };
+
+    struct QueryRuntime {
+        const workload::Query* query = nullptr;
+        const workload::Job* job = nullptr;
+        std::size_t outstanding = 0;  ///< Sub-queries not yet executed.
+        bool visible = false;
+        util::SimTime visible_at;
+    };
+
+    struct VisibilityEvent {
+        util::SimTime at;
+        workload::QueryId query;
+
+        bool operator>(const VisibilityEvent& o) const noexcept {
+            return at == o.at ? query > o.query : at > o.at;
+        }
+    };
+
+    std::unique_ptr<cache::ReplacementPolicy> make_policy();
+    std::unique_ptr<sched::Scheduler> make_scheduler();
+    void submit_job(const workload::Job& job);
+    void make_visible(workload::QueryId id);
+    /// Read `atom` into the cache if absent; returns true if a disk read
+    /// happened. Propagates residency changes to the scheduler (and the
+    /// prefetcher's accuracy accounting when enabled).
+    bool ensure_resident(const storage::AtomId& atom);
+    bool execute_one_batch();
+    void complete_query(QueryRuntime& runtime);
+    /// Perform speculative reads from the prediction queue while they fit
+    /// before `until` (the next demand event) — prefetching uses only disk
+    /// time that would otherwise be idle.
+    void run_prefetches(util::SimTime until);
+
+    EngineConfig config_;
+    util::VirtualClock clock_;
+    storage::AtomStore store_;
+    storage::DatabaseNode db_;
+    OracleRelay oracle_;
+    std::unique_ptr<cache::BufferCache> cache_;
+    std::unique_ptr<sched::Scheduler> scheduler_;
+    std::unique_ptr<sched::TrajectoryPrefetcher> prefetcher_;
+    std::vector<storage::AtomId> prefetch_queue_;
+
+    std::unordered_map<workload::QueryId, QueryRuntime> runtime_;
+    std::priority_queue<VisibilityEvent, std::vector<VisibilityEvent>,
+                        std::greater<VisibilityEvent>>
+        visibility_;
+    std::unordered_map<workload::JobId, std::size_t> job_remaining_;
+    std::vector<QueryOutcome> outcomes_;
+
+    /// Roll the timeline forward to cover `now`, then account one completion
+    /// with the given response time (response < 0 means "no completion, just
+    /// roll windows").
+    void timeline_tick(util::SimTime now, double response_ms);
+    std::vector<TimelinePoint> timeline_;
+    util::SimTime timeline_next_;
+    std::uint64_t window_completions_ = 0;
+    double window_response_ms_sum_ = 0.0;
+
+    std::size_t completed_ = 0;
+    std::uint64_t atoms_processed_ = 0;
+    std::uint64_t atom_reads_ = 0;
+    std::uint64_t support_reads_ = 0;
+    std::vector<std::uint64_t> support_scratch_;
+    std::uint64_t subqueries_done_ = 0;
+    std::uint64_t positions_done_ = 0;
+    double job_span_ms_sum_ = 0.0;
+    std::vector<double> job_spans_;
+    std::size_t jobs_done_ = 0;
+    util::SimTime idle_time_;
+    bool ran_ = false;
+};
+
+}  // namespace jaws::core

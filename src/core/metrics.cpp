@@ -1,0 +1,45 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+
+#include "util/stats.h"
+
+namespace jaws::core {
+
+std::string RunReport::summary() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%-22s tp=%7.3f q/s  rt(mean)=%9.1f ms  rt(p95)=%9.1f ms  hit=%5.1f%%  "
+                  "reads=%llu",
+                  scheduler_name.c_str(), throughput_qps, mean_response_ms, p95_response_ms,
+                  100.0 * cache.hit_rate(), static_cast<unsigned long long>(atom_reads));
+    return buf;
+}
+
+void fill_response_stats(const std::vector<QueryOutcome>& outcomes, RunReport& report) {
+    if (outcomes.empty()) return;
+    util::RunningStats stats;
+    std::vector<double> samples;
+    std::vector<double> completions;
+    samples.reserve(outcomes.size());
+    completions.reserve(outcomes.size());
+    for (const auto& o : outcomes) {
+        const double ms = o.response().millis();
+        stats.add(ms);
+        samples.push_back(ms);
+        completions.push_back(o.completed.seconds());
+    }
+    report.mean_response_ms = stats.mean();
+    report.median_response_ms = util::percentile(samples, 50.0);
+    report.p95_response_ms = util::percentile(samples, 95.0);
+
+    const double t10 = util::percentile(completions, 10.0);
+    const double t90 = util::percentile(completions, 90.0);
+    if (t90 > t10)
+        report.steady_throughput_qps =
+            0.8 * static_cast<double>(outcomes.size()) / (t90 - t10);
+    else
+        report.steady_throughput_qps = report.throughput_qps;
+}
+
+}  // namespace jaws::core

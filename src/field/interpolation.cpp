@@ -1,0 +1,75 @@
+#include "field/interpolation.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace jaws::field {
+
+std::uint32_t kernel_half_width(InterpOrder order) noexcept {
+    return static_cast<std::uint32_t>(order) / 2;
+}
+
+void lagrange_weights(double frac, InterpOrder order, double* weights) noexcept {
+    const int n = static_cast<int>(order);
+    // Nodes sit at integer offsets d = -(n/2 - 1) ... n/2 relative to the
+    // sample immediately at/below the query point; the query sits at `frac`.
+    for (int i = 0; i < n; ++i) {
+        const double xi = static_cast<double>(i - (n / 2 - 1));
+        double w = 1.0;
+        for (int j = 0; j < n; ++j) {
+            if (j == i) continue;
+            const double xj = static_cast<double>(j - (n / 2 - 1));
+            w *= (frac - xj) / (xi - xj);
+        }
+        weights[i] = w;
+    }
+}
+
+FlowSample interpolate(const GridSpec& grid, const VoxelBlock& block,
+                       const util::Coord3& atom, const Vec3& p, InterpOrder order) noexcept {
+    const int n = static_cast<int>(order);
+    // Continuous voxel-space coordinate: voxel i's sample sits at i + 0.5.
+    const double gx = wrap01(p.x) * grid.voxels_per_side - 0.5;
+    const double gy = wrap01(p.y) * grid.voxels_per_side - 0.5;
+    const double gz = wrap01(p.z) * grid.voxels_per_side - 0.5;
+    const auto base = [&](double g) { return static_cast<std::int64_t>(std::floor(g)); };
+    const std::int64_t bx = base(gx), by = base(gy), bz = base(gz);
+
+    double wx[8], wy[8], wz[8];
+    lagrange_weights(gx - static_cast<double>(bx), order, wx);
+    lagrange_weights(gy - static_cast<double>(by), order, wy);
+    lagrange_weights(gz - static_cast<double>(bz), order, wz);
+
+    // Local block index of global voxel g: g - (atom * atom_side - ghost).
+    const auto local = [&](std::int64_t g, std::uint32_t atom_c) {
+        return g - (static_cast<std::int64_t>(atom_c) * grid.atom_side -
+                    static_cast<std::int64_t>(grid.ghost));
+    };
+    const std::int64_t off = n / 2 - 1;  // first node offset from base
+    const std::int64_t lx0 = local(bx - off, atom.x);
+    const std::int64_t ly0 = local(by - off, atom.y);
+    const std::int64_t lz0 = local(bz - off, atom.z);
+    assert(lx0 >= 0 && ly0 >= 0 && lz0 >= 0);
+    assert(lx0 + n <= static_cast<std::int64_t>(block.extent()) &&
+           ly0 + n <= static_cast<std::int64_t>(block.extent()) &&
+           lz0 + n <= static_cast<std::int64_t>(block.extent()));
+
+    FlowSample out;
+    for (int iz = 0; iz < n; ++iz) {
+        for (int iy = 0; iy < n; ++iy) {
+            const double wyz = wy[iy] * wz[iz];
+            for (int ix = 0; ix < n; ++ix) {
+                const double w = wx[ix] * wyz;
+                const FlowSample s =
+                    block.at(static_cast<std::uint32_t>(lx0 + ix),
+                             static_cast<std::uint32_t>(ly0 + iy),
+                             static_cast<std::uint32_t>(lz0 + iz));
+                out.velocity = out.velocity + w * s.velocity;
+                out.pressure += w * s.pressure;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace jaws::field

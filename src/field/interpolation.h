@@ -1,0 +1,38 @@
+// Lagrange interpolation over atom voxel data.
+//
+// Turbulence queries evaluate velocity (and pressure) at arbitrary continuous
+// positions using 4th/6th/8th-order Lagrange polynomial interpolation over the
+// surrounding voxel samples (paper Sec. III-A; the 4-voxel ghost replication
+// per atom face exists precisely so an 8th-order kernel can be evaluated from
+// a single atom). This module implements the tensor-product kernels and the
+// mapping from a continuous position to the sample window inside a VoxelBlock.
+#pragma once
+
+#include <cstdint>
+
+#include "field/grid.h"
+#include "field/synthetic_field.h"
+
+namespace jaws::field {
+
+/// Supported interpolation orders (number of sample points per axis).
+enum class InterpOrder : std::uint8_t { kLinear = 2, kLag4 = 4, kLag6 = 6, kLag8 = 8 };
+
+/// Half-width in voxels of the kernel for `order` (order/2). A position needs
+/// samples from [base, base + order) per axis around itself.
+std::uint32_t kernel_half_width(InterpOrder order) noexcept;
+
+/// Compute the `order` 1-D Lagrange basis weights for a query point at
+/// fractional offset `frac` in [0, 1) from the node at index order/2 - 1.
+/// `weights` must have room for `order` doubles; they sum to 1.
+void lagrange_weights(double frac, InterpOrder order, double* weights) noexcept;
+
+/// Interpolate velocity + pressure at continuous torus position `p` from the
+/// voxel payload of atom `atom` (time step already baked into `block`).
+/// Requires the kernel to fit inside the block's ghost region, i.e.
+/// kernel_half_width(order) <= grid.ghost + 1; callers pick grid specs that
+/// satisfy this (the production layout does).
+FlowSample interpolate(const GridSpec& grid, const VoxelBlock& block,
+                       const util::Coord3& atom, const Vec3& p, InterpOrder order) noexcept;
+
+}  // namespace jaws::field

@@ -1,0 +1,116 @@
+#include "sched/jaws.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace jaws::sched {
+
+JawsScheduler::JawsScheduler(const CostConstants& cost, const cache::BufferCache* cache,
+                             const JawsConfig& config)
+    : config_(config),
+      probe_(cache != nullptr ? std::make_unique<CacheResidencyProbe>(*cache) : nullptr),
+      manager_(cost, probe_.get(), config.alpha.initial_alpha),
+      graph_(config.job_aware),
+      controller_(config.alpha) {}
+
+std::string JawsScheduler::name() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "JAWS(%s k=%zu)", config_.job_aware ? "job-aware" : "base",
+                  config_.batch_size_k);
+    return buf;
+}
+
+void JawsScheduler::on_job_submitted(const workload::Job& job) {
+    graph_.add_job(job);
+    for (const auto& q : job.queries) queries_[q.id] = &q;
+}
+
+void JawsScheduler::enqueue_query(workload::QueryId id, util::SimTime now) {
+    const auto it = queries_.find(id);
+    assert(it != queries_.end());
+    util::SimTime deadline{INT64_MAX};
+    if (config_.qos.enabled) {
+        // Size-proportional completion guarantee (paper Sec. VII): a query's
+        // deadline scales with its own estimated service time, so short
+        // queries are promised short waits and long queries long ones.
+        const workload::Query& q = *it->second;
+        const double est_ms =
+            manager_.cost().t_b_ms * static_cast<double>(q.footprint.size()) +
+            manager_.cost().t_m_ms * static_cast<double>(q.total_positions());
+        deadline = now + util::SimTime::from_millis(config_.qos.slack_factor * est_ms);
+        deadlines_[id] = deadline;
+        ++qos_stats_.guaranteed;
+    }
+    for (SubQuery& sub : preprocess(*it->second, now)) {
+        sub.deadline = deadline;
+        manager_.enqueue(sub);
+    }
+}
+
+void JawsScheduler::on_query_visible(const workload::Query& query, util::SimTime now) {
+    // The graph may promote this query immediately, later (once its gating
+    // partners are READY), or promote partners that were waiting on it.
+    for (const workload::QueryId id : graph_.on_query_visible(query.id))
+        enqueue_query(id, now);
+}
+
+void JawsScheduler::on_query_completed(workload::QueryId query, util::SimTime response,
+                                       util::SimTime now) {
+    for (const workload::QueryId id : graph_.on_query_done(query)) enqueue_query(id, now);
+    queries_.erase(query);
+    if (config_.qos.enabled) {
+        const auto it = deadlines_.find(query);
+        if (it != deadlines_.end()) {
+            if (now > it->second) {
+                ++qos_stats_.misses;
+                qos_stats_.tardiness_ms_sum += (now - it->second).millis();
+            }
+            deadlines_.erase(it);
+        }
+    }
+    if (config_.adaptive_alpha && controller_.on_query_completed(response, now))
+        manager_.set_alpha(controller_.alpha());
+}
+
+void JawsScheduler::on_residency_changed(const storage::AtomId& atom) {
+    manager_.on_residency_changed(atom);
+}
+
+std::vector<BatchItem> JawsScheduler::next_batch(util::SimTime now) {
+    std::vector<BatchItem> batch;
+    if (config_.qos.enabled) {
+        // Deadline rescue: depart from contention order only when the
+        // earliest guarantee is at risk ("there is still elasticity in the
+        // workload that permits the reordering of queries" — Sec. VII).
+        const auto margin = util::SimTime::from_millis(config_.qos.margin_ms);
+        bool rescued = false;
+        while (batch.size() < config_.batch_size_k) {
+            const auto urgent = manager_.earliest_deadline_atom();
+            if (!urgent || urgent->second - now > margin) break;
+            batch.push_back(BatchItem{urgent->first, manager_.drain_atom(urgent->first)});
+            rescued = true;
+        }
+        if (rescued) {
+            ++qos_stats_.edf_dispatches;
+            return batch;
+        }
+    }
+    if (config_.two_level) {
+        for (const storage::AtomId& atom :
+             manager_.pick_two_level_batch(config_.batch_size_k, now)) {
+            batch.push_back(BatchItem{atom, manager_.drain_atom(atom)});
+        }
+    } else if (const auto best = manager_.pick_best_atom()) {
+        batch.push_back(BatchItem{*best, manager_.drain_atom(*best)});
+    }
+    return batch;
+}
+
+bool JawsScheduler::unstick(util::SimTime now) {
+    if (!graph_.has_ready()) return false;
+    const auto released = graph_.force_promote_oldest_ready();
+    for (const workload::QueryId id : released) enqueue_query(id, now);
+    return !released.empty();
+}
+
+}  // namespace jaws::sched

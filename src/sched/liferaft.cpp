@@ -1,0 +1,35 @@
+#include "sched/liferaft.h"
+
+#include <cstdio>
+
+namespace jaws::sched {
+
+LifeRaftScheduler::LifeRaftScheduler(const CostConstants& cost,
+                                     const cache::BufferCache* cache, double alpha)
+    : probe_(cache != nullptr ? std::make_unique<CacheResidencyProbe>(*cache) : nullptr),
+      manager_(cost, probe_.get(), alpha) {}
+
+std::string LifeRaftScheduler::name() const {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "LifeRaft(a=%.2f)", manager_.alpha());
+    return buf;
+}
+
+void LifeRaftScheduler::on_query_visible(const workload::Query& query, util::SimTime now) {
+    for (const SubQuery& sub : preprocess(query, now)) manager_.enqueue(sub);
+}
+
+void LifeRaftScheduler::on_residency_changed(const storage::AtomId& atom) {
+    manager_.on_residency_changed(atom);
+}
+
+std::vector<BatchItem> LifeRaftScheduler::next_batch(util::SimTime now) {
+    (void)now;
+    std::vector<BatchItem> batch;
+    const auto best = manager_.pick_best_atom();
+    if (!best) return batch;
+    batch.push_back(BatchItem{*best, manager_.drain_atom(*best)});
+    return batch;
+}
+
+}  // namespace jaws::sched

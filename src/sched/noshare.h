@@ -1,0 +1,38 @@
+// NoShare baseline scheduler (paper Sec. VI).
+//
+// Evaluates each query independently and in arrival order: no sub-query
+// batching across queries, no contention metric. A dispatched batch is simply
+// the oldest visible query's own atoms (Morton-sorted, as the production
+// system evaluates every query). I/O sharing only happens implicitly through
+// whatever the buffer cache retains.
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.h"
+
+namespace jaws::sched {
+
+/// FIFO, query-at-a-time scheduling.
+class NoShareScheduler final : public Scheduler {
+  public:
+    std::string name() const override { return "NoShare"; }
+
+    void on_query_visible(const workload::Query& query, util::SimTime now) override;
+    std::vector<BatchItem> next_batch(util::SimTime now) override;
+    bool has_pending() const override { return !fifo_.empty(); }
+    std::size_t pending_count() const override {
+        std::size_t n = 0;
+        for (const Pending& p : fifo_) n += p.query->footprint.size();
+        return n;
+    }
+
+  private:
+    struct Pending {
+        const workload::Query* query;
+        util::SimTime visible;
+    };
+    std::deque<Pending> fifo_;
+};
+
+}  // namespace jaws::sched

@@ -1,0 +1,384 @@
+#include "sched/precedence_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_set>
+
+#include "sched/alignment.h"
+
+namespace jaws::sched {
+
+namespace {
+
+/// Small disjoint-set over query ids, used to contract gating components for
+/// the deadlock (cycle) check.
+class Dsu {
+  public:
+    workload::QueryId find(workload::QueryId x) {
+        auto it = parent_.find(x);
+        if (it == parent_.end()) {
+            parent_[x] = x;
+            return x;
+        }
+        workload::QueryId root = x;
+        while (parent_[root] != root) root = parent_[root];
+        while (parent_[x] != root) {
+            const workload::QueryId next = parent_[x];
+            parent_[x] = root;
+            x = next;
+        }
+        return root;
+    }
+
+    void unite(workload::QueryId a, workload::QueryId b) { parent_[find(a)] = find(b); }
+
+  private:
+    std::unordered_map<workload::QueryId, workload::QueryId> parent_;
+};
+
+}  // namespace
+
+PrecedenceGraph::Node* PrecedenceGraph::find(workload::QueryId id) {
+    const auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const PrecedenceGraph::Node* PrecedenceGraph::find(workload::QueryId id) const {
+    const auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+}
+
+QueryState PrecedenceGraph::state(workload::QueryId id) const {
+    const Node* node = find(id);
+    return node == nullptr ? QueryState::kDone : node->state;
+}
+
+int PrecedenceGraph::gating_number(workload::QueryId id) const {
+    const Node* node = find(id);
+    return node == nullptr ? 0 : node->gating_number;
+}
+
+std::size_t PrecedenceGraph::partner_count(workload::QueryId id) const {
+    const Node* node = find(id);
+    return node == nullptr ? 0 : node->partners.size();
+}
+
+void PrecedenceGraph::add_job(const workload::Job& job) {
+    JobEntry entry;
+    entry.job = &job;
+    entry.remaining = job.queries.size();
+    jobs_[job.id] = entry;
+    for (const auto& q : job.queries) {
+        Node node;
+        node.id = q.id;
+        node.job = job.id;
+        node.seq = q.seq_in_job;
+        node.state = QueryState::kWait;
+        node.query = &q;
+        nodes_.emplace(q.id, std::move(node));
+    }
+    if (!gating_enabled_ || job.type != workload::JobType::kOrdered ||
+        job.queries.size() < 2)
+        return;
+
+    // Pairwise dynamic programs against every active ordered job, processed
+    // in descending alignment-score order (the paper's greedy merge).
+    struct Candidate {
+        std::uint32_t score;
+        workload::JobId other;
+        Alignment alignment;
+    };
+    std::vector<Candidate> candidates;
+    for (const auto& [other_id, other_entry] : jobs_) {
+        if (other_id == job.id || other_entry.remaining == 0) continue;
+        if (other_entry.job->type != workload::JobType::kOrdered) continue;
+        if (other_entry.job->queries.size() < 2) continue;
+        Alignment alignment = align_jobs(job, *other_entry.job);
+        ++stats_.alignments_run;
+        if (alignment.score == 0) continue;
+        candidates.push_back(Candidate{alignment.score, other_id, std::move(alignment)});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+
+    for (const auto& c : candidates) {
+        const JobEntry& other = jobs_.at(c.other);
+        bool admitted_any = false;
+        for (const AlignedPair& pair : c.alignment.pairs) {
+            Node* nl = find(job.queries[pair.a_seq].id);
+            Node* nk = find(other.job->queries[pair.b_seq].id);
+            if (nl == nullptr || nk == nullptr) continue;
+            // Too late to gate a query that is already runnable or running.
+            if (nk->state == QueryState::kQueue || nk->state == QueryState::kDone) continue;
+            if (try_admit_edge(*nl, *nk)) admitted_any = true;
+        }
+        if (admitted_any) recompute_gating_numbers(c.other);
+    }
+    recompute_gating_numbers(job.id);
+}
+
+bool PrecedenceGraph::edge_allowed_between(const Node& a, const Node& b,
+                                           std::size_t* crossing,
+                                           std::size_t* duplicate) const {
+    // Existing edges between job(a) and job(b) must not be crossed or
+    // duplicated by the proposed (a, b) edge.
+    const JobEntry& ja = jobs_.at(a.job);
+    for (const auto& q : ja.job->queries) {
+        const Node* n = find(q.id);
+        if (n == nullptr) continue;
+        for (const workload::QueryId pid : n->partners) {
+            const Node* p = find(pid);
+            if (p == nullptr || p->job != b.job) continue;
+            if (n->seq == a.seq || p->seq == b.seq) {
+                ++*duplicate;  // one gating edge per query per job pair
+                return false;
+            }
+            const bool crosses = (n->seq < a.seq && p->seq > b.seq) ||
+                                 (n->seq > a.seq && p->seq < b.seq);
+            if (crosses) {
+                ++*crossing;
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool PrecedenceGraph::would_deadlock(const Node& a, const Node& b,
+                                     const std::vector<workload::QueryId>& extra) const {
+    // Contract gating components (existing edges + the proposed ones) and
+    // look for a cycle in the condensed precedence graph.
+    Dsu dsu;
+    for (const auto& [id, node] : nodes_) {
+        for (const workload::QueryId pid : node.partners)
+            if (nodes_.contains(pid)) dsu.unite(id, pid);
+    }
+    dsu.unite(a.id, b.id);
+    for (const workload::QueryId pid : extra)
+        if (nodes_.contains(pid)) dsu.unite(a.id, pid);
+
+    // Build condensed adjacency from per-job precedence chains.
+    std::unordered_map<workload::QueryId, std::vector<workload::QueryId>> adjacency;
+    for (const auto& [job_id, entry] : jobs_) {
+        if (entry.job->type != workload::JobType::kOrdered) continue;
+        const Node* prev = nullptr;
+        for (const auto& q : entry.job->queries) {
+            const Node* cur = find(q.id);
+            if (cur == nullptr) continue;  // completed prefix
+            if (prev != nullptr) {
+                const workload::QueryId u = dsu.find(prev->id);
+                const workload::QueryId v = dsu.find(cur->id);
+                if (u != v) adjacency[u].push_back(v);
+            }
+            prev = cur;
+        }
+    }
+
+    // Iterative DFS cycle detection (colors: 0 white, 1 gray, 2 black).
+    std::unordered_map<workload::QueryId, int> color;
+    for (const auto& [start, ignored] : adjacency) {
+        if (color[start] != 0) continue;
+        std::vector<std::pair<workload::QueryId, std::size_t>> stack{{start, 0}};
+        color[start] = 1;
+        while (!stack.empty()) {
+            auto& [u, next] = stack.back();
+            const auto it = adjacency.find(u);
+            const std::size_t degree = it == adjacency.end() ? 0 : it->second.size();
+            if (next >= degree) {
+                color[u] = 2;
+                stack.pop_back();
+                continue;
+            }
+            const workload::QueryId v = it->second[next++];
+            if (color[v] == 1) return true;  // back edge: cycle
+            if (color[v] == 0) {
+                color[v] = 1;
+                stack.emplace_back(v, 0);
+            }
+        }
+    }
+    return false;
+}
+
+bool PrecedenceGraph::try_admit_edge(Node& nl, Node& nk) {
+    if (nl.job == nk.job) return false;
+    if (std::find(nl.partners.begin(), nl.partners.end(), nk.id) != nl.partners.end())
+        return false;  // already gated together
+
+    // Transitive inheritance (Fig. 4 line 2): the new query inherits all
+    // gating edges incident to its partner.
+    std::vector<workload::QueryId> admit{nk.id};
+    for (const workload::QueryId pid : nk.partners) {
+        const Node* p = find(pid);
+        if (p == nullptr || p->job == nl.job) continue;
+        if (p->state == QueryState::kQueue || p->state == QueryState::kDone) continue;
+        admit.push_back(pid);
+    }
+
+    // Fig. 4 lines 3-7: the gating number nl would carry — edged queries in
+    // its own prefix plus one past the deepest gated partner of the prefix.
+    int max_gat_num = 0;
+    {
+        const JobEntry& jl = jobs_.at(nl.job);
+        int prefix_edges = 0;
+        for (const auto& q : jl.job->queries) {
+            if (q.seq_in_job >= nl.seq) break;
+            const Node* n = find(q.id);
+            if (n == nullptr || n->partners.empty()) continue;
+            ++prefix_edges;
+            for (const workload::QueryId pid : n->partners) {
+                const Node* p = find(pid);
+                if (p != nullptr)
+                    max_gat_num = std::max(max_gat_num, p->gating_number + 1);
+            }
+        }
+        max_gat_num = std::max(max_gat_num, prefix_edges);
+    }
+
+    // Fig. 4 lines 8-13: validate every inherited edge. The paper uses the
+    // gating-number comparison as a cheap deadlock proxy; we track it as a
+    // statistic but rely on the exact cycle check below, which admits every
+    // feasible edge the proxy would conservatively reject.
+    for (const workload::QueryId cid : admit) {
+        const Node* c = find(cid);
+        assert(c != nullptr);
+        if (c->gating_number < max_gat_num) ++stats_.edges_rejected_gating_number;
+        std::size_t crossing = 0, duplicate = 0;
+        if (!edge_allowed_between(nl, *c, &crossing, &duplicate)) {
+            stats_.edges_rejected_crossing += crossing + duplicate;
+            return false;
+        }
+    }
+
+    // Exact deadlock check over the contracted constraint graph.
+    if (would_deadlock(nl, nk, admit)) {
+        ++stats_.edges_rejected_deadlock;
+        return false;
+    }
+
+    for (const workload::QueryId cid : admit) {
+        Node* c = find(cid);
+        nl.partners.push_back(cid);
+        c->partners.push_back(nl.id);
+        ++stats_.edges_admitted;
+    }
+    return true;
+}
+
+void PrecedenceGraph::recompute_gating_numbers(workload::JobId job_id) {
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return;
+    int count = 0;
+    for (const auto& q : it->second.job->queries) {
+        Node* node = find(q.id);
+        if (node == nullptr) continue;
+        if (!node->partners.empty()) ++count;
+        node->gating_number = count;
+    }
+}
+
+bool PrecedenceGraph::gating_satisfied(const Node& node) const {
+    for (const workload::QueryId pid : node.partners) {
+        const Node* p = find(pid);
+        if (p == nullptr) continue;  // DONE partners satisfy the gate
+        if (p->state == QueryState::kWait) return false;
+    }
+    return true;
+}
+
+std::vector<workload::QueryId> PrecedenceGraph::promote_from(
+    const std::vector<workload::QueryId>& seeds) {
+    std::vector<workload::QueryId> promoted;
+    for (const workload::QueryId id : seeds) {
+        Node* node = find(id);
+        if (node == nullptr || node->state != QueryState::kReady) continue;
+        if (!gating_satisfied(*node)) continue;
+        node->state = QueryState::kQueue;
+        --ready_count_;
+        promoted.push_back(id);
+    }
+    return promoted;
+}
+
+std::vector<workload::QueryId> PrecedenceGraph::on_query_visible(workload::QueryId id) {
+    Node* node = find(id);
+    assert(node != nullptr && node->state == QueryState::kWait);
+    node->state = QueryState::kReady;
+    node->visible_tick = ++tick_;
+    ++ready_count_;
+
+    // This transition can complete the gate of the node itself and of each of
+    // its partners (promoting one node cannot un-block a third, so one pass
+    // over this neighbourhood reaches the fixpoint).
+    std::vector<workload::QueryId> seeds{id};
+    seeds.insert(seeds.end(), node->partners.begin(), node->partners.end());
+    return promote_from(seeds);
+}
+
+std::vector<workload::QueryId> PrecedenceGraph::on_query_done(workload::QueryId id) {
+    Node* node = find(id);
+    if (node == nullptr) return {};
+    assert(node->state == QueryState::kQueue);
+    // Detach from partners (a DONE partner satisfies their gates anyway) and
+    // prune the vertex, as the paper prunes completed queries.
+    std::vector<workload::QueryId> partners = std::move(node->partners);
+    for (const workload::QueryId pid : partners) {
+        Node* p = find(pid);
+        if (p == nullptr) continue;
+        std::erase(p->partners, id);
+    }
+    const workload::JobId job_id = node->job;
+    nodes_.erase(id);
+    auto it = jobs_.find(job_id);
+    if (it != jobs_.end() && --it->second.remaining == 0) jobs_.erase(it);
+    // Pruning cannot newly satisfy a gate (DONE already satisfied it), so no
+    // promotions result; kept as a hook point for symmetry.
+    return {};
+}
+
+std::vector<workload::QueryId> PrecedenceGraph::force_promote_oldest_ready() {
+    Node* oldest = nullptr;
+    for (auto& [id, node] : nodes_) {
+        if (node.state != QueryState::kReady) continue;
+        if (oldest == nullptr || node.visible_tick < oldest->visible_tick) oldest = &node;
+    }
+    if (oldest == nullptr) return {};
+    oldest->state = QueryState::kQueue;
+    --ready_count_;
+    ++stats_.forced_promotions;
+    return {oldest->id};
+}
+
+bool PrecedenceGraph::check_invariants() const {
+    std::size_t ready = 0;
+    for (const auto& [id, node] : nodes_) {
+        if (node.state == QueryState::kReady) ++ready;
+        for (const workload::QueryId pid : node.partners) {
+            const Node* p = find(pid);
+            if (p == nullptr) return false;  // dangling edge
+            if (p->job == node.job) return false;  // intra-job gating edge
+            if (std::find(p->partners.begin(), p->partners.end(), id) ==
+                p->partners.end())
+                return false;  // asymmetric edge
+            // One edge per query per job pair.
+            std::size_t to_that_job = 0;
+            for (const workload::QueryId other : node.partners) {
+                const Node* o = find(other);
+                if (o != nullptr && o->job == p->job) ++to_that_job;
+            }
+            if (to_that_job > 1) return false;
+        }
+    }
+    if (ready != ready_count_) return false;
+
+    // Deadlock freedom of the current graph: reuse the checker with a
+    // degenerate proposal (an existing node united with itself).
+    if (!nodes_.empty()) {
+        const Node& any = nodes_.begin()->second;
+        if (would_deadlock(any, any, {})) return false;
+    }
+    return true;
+}
+
+}  // namespace jaws::sched

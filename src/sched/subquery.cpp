@@ -1,0 +1,57 @@
+#include "sched/subquery.h"
+
+#include <algorithm>
+
+#include "util/morton.h"
+
+namespace jaws::sched {
+
+std::vector<SubQuery> preprocess(const workload::Query& query, util::SimTime now) {
+    std::vector<SubQuery> out;
+    out.reserve(query.footprint.size());
+    for (const auto& req : query.footprint) {
+        SubQuery sub;
+        sub.query = query.id;
+        sub.atom = req.atom;
+        sub.positions = req.positions;
+        sub.enqueue_time = now;
+        out.push_back(std::move(sub));
+    }
+
+    // Kernel supports: for each footprint atom, the face-neighbour atoms that
+    // are themselves part of the footprint (the position cloud is contiguous,
+    // so boundary positions sample from exactly these). Footprints are
+    // Morton-sorted, so membership is a binary search.
+    const auto member = [&](std::uint64_t code) {
+        const auto it = std::lower_bound(
+            query.footprint.begin(), query.footprint.end(), code,
+            [](const workload::AtomRequest& r, std::uint64_t c) { return r.atom.morton < c; });
+        return it != query.footprint.end() && it->atom.morton == code;
+    };
+    if (query.footprint.size() < 2) return out;
+    for (SubQuery& sub : out) {
+        const util::Coord3 c = util::morton_decode(sub.atom.morton);
+        const auto push_if = [&](std::int64_t x, std::int64_t y, std::int64_t z) {
+            if (x < 0 || y < 0 || z < 0) return;
+            const std::uint64_t code =
+                util::morton_encode(static_cast<std::uint32_t>(x),
+                                    static_cast<std::uint32_t>(y),
+                                    static_cast<std::uint32_t>(z));
+            if (member(code)) sub.supports.push_back(code);
+        };
+        // Each shared face is owned by the higher-coordinate atom: its kernel
+        // spills into the lower (Morton-earlier) neighbour, so every
+        // adjacency is charged exactly once across the footprint, and a
+        // Morton-ordered evaluation pass has always *just read* the atom the
+        // spill needs — the locality the two-level framework exploits.
+        const auto x = static_cast<std::int64_t>(c.x);
+        const auto y = static_cast<std::int64_t>(c.y);
+        const auto z = static_cast<std::int64_t>(c.z);
+        push_if(x - 1, y, z);
+        push_if(x, y - 1, z);
+        push_if(x, y, z - 1);
+    }
+    return out;
+}
+
+}  // namespace jaws::sched

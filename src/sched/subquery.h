@@ -1,0 +1,49 @@
+// Sub-queries: the scheduler's unit of work.
+//
+// The pre-processor splits every query into sub-queries — the subsets of its
+// positions that fall within a single atom (paper Sec. III-B). Sub-queries of
+// one query can execute in any order, and the query completes when all of
+// them have; sub-queries of *different* queries that touch the same atom are
+// co-scheduled in one pass over that atom's data. This header defines the
+// sub-query record and the pre-processing step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/atom.h"
+#include "util/sim_time.h"
+#include "workload/query.h"
+
+namespace jaws::sched {
+
+/// One query's positions inside one atom, together with the *support atoms*
+/// its kernel of computation needs: positions near an atom boundary draw
+/// interpolation samples from face-neighbour atoms (paper Sec. V — "
+/// computations such as Lagrangian interpolation may require that a position
+/// accesses data from multiple atoms that are nearby in space"). Executing
+/// the sub-query requires every support atom to be memory-resident; the
+/// engine reads absent supports without draining their own workload queues.
+/// Schedulers that batch spatially adjacent atoms of one time step (the
+/// two-level framework) therefore avoid redundant peripheral reads that
+/// single-atom contention chasing pays repeatedly.
+struct SubQuery {
+    workload::QueryId query = 0;
+    storage::AtomId atom;
+    std::uint64_t positions = 0;
+    util::SimTime enqueue_time;  ///< When it entered the workload queue (for E(i)).
+    /// Completion-time guarantee of the owning query (QoS mode, paper
+    /// Sec. VII); INT64_MAX when no guarantee was requested.
+    util::SimTime deadline{INT64_MAX};
+    std::vector<std::uint64_t> supports;  ///< Morton codes of kernel-support atoms.
+};
+
+/// Split `query` into per-atom sub-queries stamped with `now`. The query's
+/// footprint is already Morton-sorted per time step, so the resulting list is
+/// too — preserving the paper's Morton-order evaluation property. Each
+/// sub-query's supports are the face-neighbour atoms of its atom that also
+/// carry positions of this query: the kernel window of a contiguous position
+/// cloud spills exactly into the adjacent occupied atoms.
+std::vector<SubQuery> preprocess(const workload::Query& query, util::SimTime now);
+
+}  // namespace jaws::sched

@@ -1,0 +1,160 @@
+#include "sched/workload_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jaws::sched {
+
+WorkloadManager::WorkloadManager(const CostConstants& cost, const ResidencyProbe* probe,
+                                 double alpha)
+    : cost_(cost), probe_(probe), alpha_(alpha) {
+    if (cost_.atoms_per_step == 0) cost_.atoms_per_step = 1;
+}
+
+double WorkloadManager::compute_utility(const storage::AtomId& atom,
+                                        const AtomQueue& q) const {
+    if (q.positions == 0) return 0.0;
+    const double w = static_cast<double>(q.positions);
+    const double phi = (probe_ != nullptr && probe_->resident(atom)) ? 0.0 : 1.0;
+    return w / (cost_.t_b_ms * phi + cost_.t_m_ms * w);
+}
+
+double WorkloadManager::compute_key(const AtomQueue& q) const {
+    // Static part of U_e: U_t*(1-alpha) + (now - oldest)*alpha ranks the same
+    // as U_t*(1-alpha) - oldest*alpha at any fixed `now`.
+    return q.utility * (1.0 - alpha_) - q.oldest.millis() * alpha_;
+}
+
+void WorkloadManager::index_insert(const storage::AtomId& atom, AtomQueue& q) {
+    q.utility = compute_utility(atom, q);
+    q.key = compute_key(q);
+    order_.emplace(-q.key, atom.key());
+    StepAgg& agg = steps_[atom.timestep];
+    agg.utility_sum += q.utility;
+    agg.key_sum += q.key;
+    ++agg.atoms;
+    agg.by_utility.emplace(-q.utility, atom.key());
+}
+
+void WorkloadManager::index_erase(const storage::AtomId& atom, const AtomQueue& q) {
+    order_.erase({-q.key, atom.key()});
+    const auto it = steps_.find(atom.timestep);
+    assert(it != steps_.end());
+    it->second.utility_sum -= q.utility;
+    it->second.key_sum -= q.key;
+    --it->second.atoms;
+    it->second.by_utility.erase({-q.utility, atom.key()});
+    if (it->second.atoms == 0) steps_.erase(it);
+}
+
+void WorkloadManager::enqueue(const SubQuery& sub) {
+    AtomQueue& q = queues_[sub.atom];
+    if (!q.items.empty()) index_erase(sub.atom, q);
+    if (q.items.empty()) q.oldest = sub.enqueue_time;
+    if (sub.deadline < q.min_deadline) {
+        if (q.min_deadline.micros != INT64_MAX)
+            deadlines_.erase({q.min_deadline.micros, sub.atom.key()});
+        q.min_deadline = sub.deadline;
+        deadlines_.emplace(q.min_deadline.micros, sub.atom.key());
+    }
+    q.items.push_back(sub);
+    q.positions += sub.positions;
+    total_positions_ += sub.positions;
+    ++total_subqueries_;
+    index_insert(sub.atom, q);
+}
+
+std::vector<SubQuery> WorkloadManager::drain_atom(const storage::AtomId& atom) {
+    const auto it = queues_.find(atom);
+    if (it == queues_.end()) return {};
+    index_erase(atom, it->second);
+    if (it->second.min_deadline.micros != INT64_MAX)
+        deadlines_.erase({it->second.min_deadline.micros, atom.key()});
+    std::vector<SubQuery> items = std::move(it->second.items);
+    total_positions_ -= it->second.positions;
+    total_subqueries_ -= items.size();
+    queues_.erase(it);
+    return items;
+}
+
+void WorkloadManager::on_residency_changed(const storage::AtomId& atom) {
+    const auto it = queues_.find(atom);
+    if (it == queues_.end()) return;
+    index_erase(atom, it->second);
+    index_insert(atom, it->second);
+}
+
+std::optional<storage::AtomId> WorkloadManager::pick_best_atom() const {
+    if (order_.empty()) return std::nullopt;
+    return storage::AtomId::from_key(order_.begin()->second);
+}
+
+std::vector<storage::AtomId> WorkloadManager::pick_two_level_batch(std::size_t k,
+                                                                   util::SimTime now) const {
+    if (steps_.empty()) return {};
+    // Coarse level: the time step with the highest mean aged throughput,
+    // where the mean is over *all* atoms of the step (atoms without pending
+    // work contribute zero), i.e. total contention mass / atoms_per_step.
+    // Each pending atom's U_e is its static key plus now*alpha, so the exact
+    // step sum is key_sum + pending_count * now * alpha.
+    const StepAgg* best = nullptr;
+    double best_sum = 0.0;
+    const double now_term = now.millis() * alpha_;
+    for (const auto& [t, agg] : steps_) {
+        const double sum = agg.key_sum + static_cast<double>(agg.atoms) * now_term;
+        if (best == nullptr || sum > best_sum) {
+            best_sum = sum;
+            best = &agg;
+        }
+    }
+    // Fine level: up to k atoms of that step with U_t above the step's mean
+    // U_t over all atoms — a deliberately low bar (paper Sec. V: "the impact
+    // beyond 50 is marginal because only atoms with workload throughput
+    // greater than the mean value are considered") — in Morton order.
+    const double mean_ut = best->utility_sum / static_cast<double>(cost_.atoms_per_step);
+    std::vector<storage::AtomId> batch;
+    for (const auto& [neg_ut, atom_key] : best->by_utility) {
+        if (batch.size() >= k) break;
+        if (-neg_ut < mean_ut && !batch.empty()) break;  // below mean: stop
+        batch.push_back(storage::AtomId::from_key(atom_key));
+    }
+    std::sort(batch.begin(), batch.end(), [](const storage::AtomId& a,
+                                             const storage::AtomId& b) {
+        return a.morton < b.morton;
+    });
+    return batch;
+}
+
+std::optional<std::pair<storage::AtomId, util::SimTime>>
+WorkloadManager::earliest_deadline_atom() const {
+    if (deadlines_.empty()) return std::nullopt;
+    const auto& [deadline_us, atom_key] = *deadlines_.begin();
+    return std::make_pair(storage::AtomId::from_key(atom_key),
+                          util::SimTime::from_micros(deadline_us));
+}
+
+double WorkloadManager::atom_utility(const storage::AtomId& atom) const {
+    const auto it = queues_.find(atom);
+    return it == queues_.end() ? 0.0 : it->second.utility;
+}
+
+double WorkloadManager::timestep_mean_utility(std::uint32_t t) const {
+    const auto it = steps_.find(t);
+    if (it == steps_.end()) return 0.0;
+    return it->second.utility_sum / static_cast<double>(it->second.atoms);
+}
+
+void WorkloadManager::set_alpha(double alpha) {
+    assert(alpha >= 0.0 && alpha <= 1.0);
+    if (alpha == alpha_) return;
+    alpha_ = alpha;
+    rebuild_index();
+}
+
+void WorkloadManager::rebuild_index() {
+    order_.clear();
+    steps_.clear();
+    for (auto& [atom, q] : queues_) index_insert(atom, q);
+}
+
+}  // namespace jaws::sched

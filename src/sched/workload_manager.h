@@ -1,0 +1,152 @@
+// Workload manager: per-atom workload queues and contention metrics.
+//
+// Implements the data-driven core of LifeRaft/JAWS (paper Secs. III-C, V):
+//   * a workload queue per atom holding the pending sub-queries against it;
+//   * the workload-throughput metric (Eq. 1)
+//         U_t(i) = W_i / (T_b * phi(i) + T_m * W_i)
+//     where W_i is the total pending positions, T_b/T_m the I/O/compute cost
+//     constants and phi(i) = 0 when the atom is cached;
+//   * the aged metric (Eq. 2)  U_e(i) = U_t(i)*(1-alpha) + E(i)*alpha, with
+//     E(i) the age of the oldest sub-query. Because E(i) = now - oldest_i,
+//     atoms can be ranked by the *static* key U_t*(1-alpha) - oldest_i*alpha
+//     (the common now*alpha term cancels), so the ordered index only changes
+//     when a queue mutates, the cache residency flips, or alpha changes;
+//   * the two-level selection (Sec. V, Fig. 6): pick the time step with the
+//     highest mean U_t, then up to k atoms of that step with U_t above the
+//     mean, returned in Morton order;
+//   * the UtilityOracle interface URC reads for cache coordination.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/replacement_policy.h"
+#include "sched/subquery.h"
+#include "storage/atom.h"
+#include "util/sim_time.h"
+
+namespace jaws::sched {
+
+/// The cost constants of Eq. 1, in the units used throughout (milliseconds of
+/// virtual time; W in positions).
+struct CostConstants {
+    double t_b_ms = 25.0;  ///< Estimated cost of reading one atom from disk.
+    double t_m_ms = 0.005; ///< Estimated compute cost per position (5 us).
+    std::uint64_t atoms_per_step = 4096;  ///< Denominator of per-step means.
+};
+
+/// Residency probe for phi(i); decouples the manager from the cache class.
+class ResidencyProbe {
+  public:
+    virtual ~ResidencyProbe() = default;
+    /// True when `atom` is in memory (phi = 0).
+    virtual bool resident(const storage::AtomId& atom) const = 0;
+};
+
+/// Per-atom workload queues with contention-ordered indexes.
+class WorkloadManager final : public cache::UtilityOracle {
+  public:
+    /// `probe` may be null (phi taken as 1 everywhere) and must outlive the
+    /// manager otherwise. `cost.atoms_per_step` is the denominator of the
+    /// paper's "mean over all atoms in a time step" (4096 in production): the
+    /// coarse level ranks steps by total pending contention normalised by
+    /// this constant, so steps with more aggregate work win, and the in-step
+    /// selection bar ("U_t greater than the mean") is correspondingly low.
+    WorkloadManager(const CostConstants& cost, const ResidencyProbe* probe,
+                    double alpha = 0.5);
+
+    // --- queue mutation ---
+
+    /// Append a sub-query to its atom's workload queue.
+    void enqueue(const SubQuery& sub);
+
+    /// Remove and return the whole workload queue of `atom` (the single pass
+    /// over the atom's data evaluates all of it). Empty result if none.
+    std::vector<SubQuery> drain_atom(const storage::AtomId& atom);
+
+    /// Notify that `atom`'s cache residency changed (phi flips, U_t changes).
+    void on_residency_changed(const storage::AtomId& atom);
+
+    // --- selection ---
+
+    /// Atom with the highest aged workload throughput U_e at virtual time
+    /// `now` (LifeRaft's single-atom pick). nullopt when no work is pending.
+    std::optional<storage::AtomId> pick_best_atom() const;
+
+    /// Two-level pick (paper Sec. V, Fig. 6): the time step with the highest
+    /// mean *aged* workload throughput over all of the step's atoms
+    /// (Sec. V-C), then up to `k` atoms of that step with U_t at or above the
+    /// step's mean U_t, in Morton order. `now` enters through the age term
+    /// E(i) = now - oldest_i of the aged metric.
+    std::vector<storage::AtomId> pick_two_level_batch(std::size_t k, util::SimTime now) const;
+
+    /// QoS support (paper Sec. VII): the atom whose pending work carries the
+    /// earliest completion deadline, with that deadline. nullopt when no
+    /// pending sub-query has a deadline.
+    std::optional<std::pair<storage::AtomId, util::SimTime>> earliest_deadline_atom() const;
+
+    // --- metrics / oracle ---
+
+    /// U_t(atom) (Eq. 1); 0 when no work is pending against it.
+    double atom_utility(const storage::AtomId& atom) const override;
+    /// Mean U_t over the pending atoms of step `t`; 0 if none.
+    double timestep_mean_utility(std::uint32_t t) const override;
+
+    // --- alpha ---
+
+    /// Current age bias.
+    double alpha() const noexcept { return alpha_; }
+    /// Change the age bias (rebuilds the ordered index).
+    void set_alpha(double alpha);
+
+    // --- introspection ---
+
+    bool empty() const noexcept { return queues_.empty(); }
+    /// The cost constants in effect (schedulers derive service estimates).
+    const CostConstants& cost() const noexcept { return cost_; }
+    std::size_t pending_atoms() const noexcept { return queues_.size(); }
+    std::uint64_t pending_positions() const noexcept { return total_positions_; }
+    std::size_t pending_subqueries() const noexcept { return total_subqueries_; }
+
+  private:
+    struct AtomQueue {
+        std::vector<SubQuery> items;
+        std::uint64_t positions = 0;
+        util::SimTime oldest;
+        util::SimTime min_deadline{INT64_MAX};  ///< Earliest QoS deadline queued.
+        double utility = 0.0;  ///< Cached U_t.
+        double key = 0.0;      ///< Cached static ranking key.
+    };
+
+    double compute_utility(const storage::AtomId& atom, const AtomQueue& q) const;
+    double compute_key(const AtomQueue& q) const;
+    void index_insert(const storage::AtomId& atom, AtomQueue& q);
+    void index_erase(const storage::AtomId& atom, const AtomQueue& q);
+    void rebuild_index();
+
+    CostConstants cost_;
+    const ResidencyProbe* probe_;
+    double alpha_;
+
+    std::unordered_map<storage::AtomId, AtomQueue, storage::AtomIdHash> queues_;
+    // Ordered by descending static key; (-key, atom key) ascending.
+    std::set<std::pair<double, std::uint64_t>> order_;
+    struct StepAgg {
+        double utility_sum = 0.0;  ///< Sum of U_t (mean gates in-step selection).
+        double key_sum = 0.0;      ///< Sum of static aged keys (mean picks the step).
+        std::size_t atoms = 0;
+        // Ordered by descending U_t; (-U_t, atom key) ascending.
+        std::set<std::pair<double, std::uint64_t>> by_utility;
+    };
+    std::map<std::uint32_t, StepAgg> steps_;
+    // Atoms with deadlined work, ordered by (deadline, atom key).
+    std::set<std::pair<std::int64_t, std::uint64_t>> deadlines_;
+    std::uint64_t total_positions_ = 0;
+    std::size_t total_subqueries_ = 0;
+};
+
+}  // namespace jaws::sched

@@ -1,0 +1,47 @@
+// Atom identity.
+//
+// The atom — a 64^3-voxel block of one time step — is the fundamental unit of
+// I/O and of scheduling in the Turbulence database (paper Sec. III-A). Atoms
+// are identified by (time step, Morton code of the atom's spatial position);
+// that pair is also the clustered index key, so atoms that are adjacent along
+// the Morton curve within a time step are adjacent on disk.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace jaws::storage {
+
+/// Identifies one atom in the dataset.
+struct AtomId {
+    std::uint32_t timestep = 0;  ///< Time step index in [0, GridSpec::timesteps).
+    std::uint64_t morton = 0;    ///< Morton code of the atom's spatial coordinate.
+
+    friend bool operator==(const AtomId&, const AtomId&) = default;
+    friend auto operator<=>(const AtomId&, const AtomId&) = default;
+
+    /// Composite 64-bit clustered-index key: time step in the high bits so a
+    /// key-ordered scan walks each time step along the Morton curve, matching
+    /// the production layout (B+ tree keyed on Morton index + time step).
+    std::uint64_t key() const noexcept {
+        return (static_cast<std::uint64_t>(timestep) << 40) | (morton & 0xFFFFFFFFFFULL);
+    }
+
+    /// Inverse of `key()`.
+    static AtomId from_key(std::uint64_t k) noexcept {
+        return AtomId{static_cast<std::uint32_t>(k >> 40), k & 0xFFFFFFFFFFULL};
+    }
+};
+
+/// Hash functor so AtomId can key unordered containers.
+struct AtomIdHash {
+    std::size_t operator()(const AtomId& id) const noexcept {
+        std::uint64_t x = id.key();
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x);
+    }
+};
+
+}  // namespace jaws::storage

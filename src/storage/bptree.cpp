@@ -1,0 +1,265 @@
+#include "storage/bptree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jaws::storage {
+
+struct BPlusTree::Node {
+    bool leaf;
+    Internal* parent = nullptr;
+
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+};
+
+struct BPlusTree::Leaf : BPlusTree::Node {
+    Leaf() : Node(true) {}
+
+    std::vector<std::uint64_t> keys;
+    std::vector<DiskExtent> values;
+    Leaf* next = nullptr;
+};
+
+struct BPlusTree::Internal : BPlusTree::Node {
+    Internal() : Node(false) {}
+
+    // children.size() == keys.size() + 1; subtree children[i] holds keys
+    // < keys[i]; children[i+1] holds keys >= keys[i].
+    std::vector<std::uint64_t> keys;
+    std::vector<Node*> children;
+};
+
+BPlusTree::BPlusTree() {
+    auto* leaf = new Leaf();
+    root_ = leaf;
+    first_leaf_ = leaf;
+    height_ = 1;
+}
+
+BPlusTree::~BPlusTree() { destroy(); }
+
+BPlusTree::BPlusTree(BPlusTree&& other) noexcept
+    : root_(other.root_),
+      first_leaf_(other.first_leaf_),
+      size_(other.size_),
+      height_(other.height_) {
+    other.root_ = nullptr;
+    other.first_leaf_ = nullptr;
+    other.size_ = 0;
+    other.height_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
+    if (this != &other) {
+        destroy();
+        root_ = other.root_;
+        first_leaf_ = other.first_leaf_;
+        size_ = other.size_;
+        height_ = other.height_;
+        other.root_ = nullptr;
+        other.first_leaf_ = nullptr;
+        other.size_ = 0;
+        other.height_ = 0;
+    }
+    return *this;
+}
+
+void BPlusTree::destroy() {
+    // Iterative post-order delete (nested node types are private, so the
+    // traversal lives here rather than in a free helper).
+    std::vector<Node*> stack;
+    if (root_ != nullptr) stack.push_back(root_);
+    while (!stack.empty()) {
+        Node* node = stack.back();
+        stack.pop_back();
+        if (!node->leaf) {
+            auto* internal = static_cast<Internal*>(node);
+            stack.insert(stack.end(), internal->children.begin(), internal->children.end());
+            delete internal;
+        } else {
+            delete static_cast<Leaf*>(node);
+        }
+    }
+    root_ = nullptr;
+    first_leaf_ = nullptr;
+    size_ = 0;
+    height_ = 0;
+}
+
+BPlusTree::Leaf* BPlusTree::find_leaf(std::uint64_t key) const {
+    Node* node = root_;
+    while (!node->leaf) {
+        auto* internal = static_cast<Internal*>(node);
+        const auto it =
+            std::upper_bound(internal->keys.begin(), internal->keys.end(), key);
+        node = internal->children[static_cast<std::size_t>(it - internal->keys.begin())];
+    }
+    return static_cast<Leaf*>(node);
+}
+
+void BPlusTree::insert(std::uint64_t key, const DiskExtent& value) {
+    Leaf* leaf = find_leaf(key);
+    const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    const auto idx = static_cast<std::size_t>(it - leaf->keys.begin());
+    if (it != leaf->keys.end() && *it == key) {
+        leaf->values[idx] = value;  // overwrite
+        return;
+    }
+    leaf->keys.insert(it, key);
+    leaf->values.insert(leaf->values.begin() + static_cast<std::ptrdiff_t>(idx), value);
+    ++size_;
+
+    if (leaf->keys.size() <= kLeafCapacity) return;
+
+    // Split the leaf in half; the right sibling's first key separates them.
+    auto* right = new Leaf();
+    const std::size_t half = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + static_cast<std::ptrdiff_t>(half),
+                       leaf->keys.end());
+    right->values.assign(leaf->values.begin() + static_cast<std::ptrdiff_t>(half),
+                         leaf->values.end());
+    leaf->keys.resize(half);
+    leaf->values.resize(half);
+    right->next = leaf->next;
+    leaf->next = right;
+    insert_into_parent(leaf, right->keys.front(), right);
+}
+
+void BPlusTree::insert_into_parent(Node* left, std::uint64_t sep, Node* right) {
+    if (left->parent == nullptr) {
+        auto* new_root = new Internal();
+        new_root->keys.push_back(sep);
+        new_root->children = {left, right};
+        left->parent = new_root;
+        right->parent = new_root;
+        root_ = new_root;
+        ++height_;
+        return;
+    }
+    Internal* parent = left->parent;
+    const auto it = std::upper_bound(parent->keys.begin(), parent->keys.end(), sep);
+    const auto idx = static_cast<std::size_t>(it - parent->keys.begin());
+    parent->keys.insert(it, sep);
+    parent->children.insert(parent->children.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                            right);
+    right->parent = parent;
+
+    if (parent->children.size() <= kFanout) return;
+
+    // Split the internal node; the median separator moves up.
+    auto* sibling = new Internal();
+    const std::size_t mid = parent->keys.size() / 2;
+    const std::uint64_t up_key = parent->keys[mid];
+    sibling->keys.assign(parent->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                         parent->keys.end());
+    sibling->children.assign(parent->children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                             parent->children.end());
+    for (auto* child : sibling->children) child->parent = sibling;
+    parent->keys.resize(mid);
+    parent->children.resize(mid + 1);
+    insert_into_parent(parent, up_key, sibling);
+}
+
+std::optional<DiskExtent> BPlusTree::find(std::uint64_t key) const {
+    const Leaf* leaf = find_leaf(key);
+    const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key) return std::nullopt;
+    return leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
+}
+
+void BPlusTree::scan(std::uint64_t lo, std::uint64_t hi,
+                     const std::function<bool(std::uint64_t, const DiskExtent&)>& visit) const {
+    const Leaf* leaf = find_leaf(lo);
+    while (leaf != nullptr) {
+        for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+            const std::uint64_t k = leaf->keys[i];
+            if (k < lo) continue;
+            if (k > hi) return;
+            if (!visit(k, leaf->values[i])) return;
+        }
+        leaf = leaf->next;
+    }
+}
+
+void BPlusTree::bulk_load(const std::vector<std::pair<std::uint64_t, DiskExtent>>& records) {
+    assert(std::is_sorted(records.begin(), records.end(),
+                          [](const auto& a, const auto& b) { return a.first < b.first; }));
+    destroy();
+    if (records.empty()) {
+        auto* leaf = new Leaf();
+        root_ = leaf;
+        first_leaf_ = leaf;
+        height_ = 1;
+        return;
+    }
+
+    // Pack leaves at ~3/4 occupancy so subsequent inserts don't split at once.
+    const std::size_t per_leaf = std::max<std::size_t>(1, kLeafCapacity * 3 / 4);
+    std::vector<Node*> level;
+    std::vector<std::uint64_t> level_min;  // smallest key under each node
+    Leaf* prev = nullptr;
+    for (std::size_t i = 0; i < records.size(); i += per_leaf) {
+        auto* leaf = new Leaf();
+        const std::size_t end = std::min(records.size(), i + per_leaf);
+        for (std::size_t j = i; j < end; ++j) {
+            leaf->keys.push_back(records[j].first);
+            leaf->values.push_back(records[j].second);
+        }
+        if (prev != nullptr)
+            prev->next = leaf;
+        else
+            first_leaf_ = leaf;
+        prev = leaf;
+        level.push_back(leaf);
+        level_min.push_back(leaf->keys.front());
+    }
+    size_ = records.size();
+    height_ = 1;
+
+    const std::size_t per_internal = std::max<std::size_t>(2, kFanout * 3 / 4);
+    while (level.size() > 1) {
+        std::vector<Node*> next_level;
+        std::vector<std::uint64_t> next_min;
+        for (std::size_t i = 0; i < level.size(); i += per_internal) {
+            auto* internal = new Internal();
+            const std::size_t end = std::min(level.size(), i + per_internal);
+            for (std::size_t j = i; j < end; ++j) {
+                if (j > i) internal->keys.push_back(level_min[j]);
+                internal->children.push_back(level[j]);
+                level[j]->parent = internal;
+            }
+            next_level.push_back(internal);
+            next_min.push_back(level_min[i]);
+        }
+        level = std::move(next_level);
+        level_min = std::move(next_min);
+        ++height_;
+    }
+    root_ = level.front();
+    root_->parent = nullptr;
+}
+
+bool BPlusTree::check_invariants() const {
+    // Walk the leaf chain: keys strictly ascending, count matches size().
+    std::size_t seen = 0;
+    std::uint64_t last = 0;
+    bool first = true;
+    for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+        if (leaf->keys.size() != leaf->values.size()) return false;
+        for (const std::uint64_t k : leaf->keys) {
+            if (!first && k <= last) return false;
+            last = k;
+            first = false;
+            ++seen;
+        }
+    }
+    if (seen != size_) return false;
+
+    // Every key must be findable through the tree.
+    for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next)
+        for (const std::uint64_t k : leaf->keys)
+            if (find_leaf(k) != leaf) return false;
+    return true;
+}
+
+}  // namespace jaws::storage

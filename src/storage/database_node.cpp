@@ -1,0 +1,31 @@
+#include "storage/database_node.h"
+
+#include <cmath>
+
+#include "util/morton.h"
+
+namespace jaws::storage {
+
+ExecOutcome DatabaseNode::execute(const SubQueryExec& work,
+                                  const field::VoxelBlock* data) const {
+    ExecOutcome out;
+    out.compute_cost = util::SimTime::from_micros(
+        static_cast<std::int64_t>(cost_.t_m_us * static_cast<double>(work.count())));
+    if (data == nullptr || work.positions.empty()) return out;
+
+    const util::Coord3 atom_coord = util::morton_decode(work.atom.morton);
+    out.samples.reserve(work.positions.size());
+    for (const auto& p : work.positions) {
+        field::FlowSample s = field::interpolate(grid_, *data, atom_coord, p, work.order);
+        if (work.kind == ComputeKind::kFlowStats) {
+            // Collapse to magnitude in the velocity.x slot; aggregation over
+            // positions happens in the caller, which sees all samples.
+            const double mag = std::sqrt(s.velocity.norm2());
+            s.velocity = field::Vec3{mag, 0.0, 0.0};
+        }
+        out.samples.push_back(s);
+    }
+    return out;
+}
+
+}  // namespace jaws::storage

@@ -1,0 +1,32 @@
+#include "storage/disk_model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace jaws::storage {
+
+util::SimTime DiskModel::peek_cost(std::uint64_t offset, std::uint64_t bytes) const {
+    double ms = 0.0;
+    if (offset != head_) {
+        const double distance =
+            static_cast<double>(offset > head_ ? offset - head_ : head_ - offset);
+        const double stroke_frac =
+            std::min(1.0, distance / static_cast<double>(spec_.capacity_bytes));
+        // Seek time grows sub-linearly with distance (classic sqrt model).
+        ms += spec_.settle_ms + spec_.seek_full_stroke_ms * std::sqrt(stroke_frac);
+    }
+    ms += static_cast<double>(bytes) / (spec_.transfer_mb_per_s * 1e6) * 1e3;
+    return util::SimTime::from_millis(ms);
+}
+
+util::SimTime DiskModel::read(std::uint64_t offset, std::uint64_t bytes) {
+    const util::SimTime cost = peek_cost(offset, bytes);
+    ++stats_.requests;
+    if (offset == head_) ++stats_.sequential_requests;
+    stats_.bytes_read += bytes;
+    stats_.busy_time += cost;
+    head_ = offset + bytes;
+    return cost;
+}
+
+}  // namespace jaws::storage

@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace jaws::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void logf(LogLevel level, std::string_view tag, const char* fmt, ...) {
+    if (level < log_level()) return;
+    char message[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(message, sizeof message, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level), static_cast<int>(tag.size()),
+                 tag.data(), message);
+}
+
+}  // namespace jaws::util

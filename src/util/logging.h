@@ -1,0 +1,33 @@
+// Lightweight leveled logging.
+//
+// Benches and examples narrate progress through this logger; tests silence it.
+// Output goes to stderr so bench tables on stdout stay machine-parsable.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace jaws::util {
+
+/// Severity levels, ascending.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global threshold.
+LogLevel log_level() noexcept;
+
+/// printf-style log statement. `tag` names the emitting subsystem.
+void logf(LogLevel level, std::string_view tag, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+}  // namespace jaws::util
+
+#define JAWS_LOG_DEBUG(tag, ...) ::jaws::util::logf(::jaws::util::LogLevel::kDebug, tag, __VA_ARGS__)
+#define JAWS_LOG_INFO(tag, ...) ::jaws::util::logf(::jaws::util::LogLevel::kInfo, tag, __VA_ARGS__)
+#define JAWS_LOG_WARN(tag, ...) ::jaws::util::logf(::jaws::util::LogLevel::kWarn, tag, __VA_ARGS__)
+#define JAWS_LOG_ERROR(tag, ...) ::jaws::util::logf(::jaws::util::LogLevel::kError, tag, __VA_ARGS__)

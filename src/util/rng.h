@@ -1,0 +1,140 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in this repository (the synthetic turbulence
+// field, the workload generator, particle seeding) draws from this generator
+// so that a fixed seed reproduces a bit-identical experiment. We use
+// xoshiro256** seeded through splitmix64 — fast, high quality, and trivially
+// embeddable without the weight of <random> engines — plus the handful of
+// distributions the workload model needs (uniform, exponential, log-normal,
+// Zipf, Poisson).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace jaws::util {
+
+/// splitmix64 step: used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies the bare minimum of UniformRandomBitGenerator
+/// so it can also be handed to standard algorithms when needed.
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    /// Construct from a 64-bit seed; splitmix64 whitens it into 256-bit state.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+    /// Reset the stream to the one produced by `seed`.
+    void reseed(std::uint64_t seed) noexcept {
+        for (auto& word : state_) word = splitmix64(seed);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~0ULL; }
+
+    /// Next raw 64-bit draw.
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n). Unbiased via rejection (Lemire-style is
+    /// overkill here; modulo bias is negligible for our n but we reject anyway).
+    std::uint64_t uniform_u64(std::uint64_t n) noexcept {
+        assert(n > 0);
+        const std::uint64_t limit = max() - max() % n;
+        std::uint64_t draw;
+        do { draw = (*this)(); } while (draw >= limit);
+        return draw % n;
+    }
+
+    /// Uniform integer in the closed range [lo, hi].
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+        assert(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        uniform_u64(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    bool bernoulli(double p) noexcept { return uniform() < p; }
+
+    /// Exponential variate with the given mean (inter-arrival gaps).
+    double exponential(double mean) noexcept {
+        return -mean * std::log1p(-uniform());
+    }
+
+    /// Standard normal via Box–Muller (one value per call; simple and stateless).
+    double normal(double mean = 0.0, double stddev = 1.0) noexcept {
+        const double u1 = 1.0 - uniform();  // avoid log(0)
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+    }
+
+    /// Log-normal variate parameterised by the underlying normal's mu/sigma.
+    /// Job durations in the Turbulence workload are heavy-tailed (Fig. 8);
+    /// a log-normal reproduces the reported histogram shape well.
+    double lognormal(double mu, double sigma) noexcept {
+        return std::exp(normal(mu, sigma));
+    }
+
+    /// Zipf-distributed rank in [0, n) with exponent `s` (inverse-CDF on the
+    /// generalized harmonic weights, computed by linear scan; our n is small).
+    std::uint64_t zipf(std::uint64_t n, double s) noexcept {
+        assert(n > 0);
+        double total = 0.0;
+        for (std::uint64_t k = 1; k <= n; ++k) total += std::pow(static_cast<double>(k), -s);
+        double target = uniform() * total;
+        for (std::uint64_t k = 1; k <= n; ++k) {
+            target -= std::pow(static_cast<double>(k), -s);
+            if (target <= 0.0) return k - 1;
+        }
+        return n - 1;
+    }
+
+    /// Poisson variate (Knuth's method; fine for small means).
+    std::uint64_t poisson(double mean) noexcept {
+        const double limit = std::exp(-mean);
+        double p = 1.0;
+        std::uint64_t k = 0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > limit);
+        return k - 1;
+    }
+
+    /// Fork a statistically independent child stream (for per-job randomness).
+    Rng split() noexcept { return Rng((*this)() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+  private:
+    static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+}  // namespace jaws::util

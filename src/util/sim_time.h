@@ -1,0 +1,78 @@
+// Virtual (simulated) time.
+//
+// All experiment clocks in this repository are *virtual*: reading an atom from
+// the simulated disk or evaluating positions advances a VirtualClock by the
+// modelled cost instead of sleeping. This is what lets the benches reproduce
+// the paper's multi-hour workloads in seconds, deterministically. Time is kept
+// as integer microseconds to avoid floating-point drift in long runs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace jaws::util {
+
+/// A point or span of virtual time, in integer microseconds.
+struct SimTime {
+    std::int64_t micros = 0;
+
+    static constexpr SimTime zero() noexcept { return SimTime{0}; }
+    static constexpr SimTime from_micros(std::int64_t us) noexcept { return SimTime{us}; }
+    static constexpr SimTime from_millis(double ms) noexcept {
+        return SimTime{static_cast<std::int64_t>(ms * 1e3)};
+    }
+    static constexpr SimTime from_seconds(double s) noexcept {
+        return SimTime{static_cast<std::int64_t>(s * 1e6)};
+    }
+
+    constexpr double seconds() const noexcept { return static_cast<double>(micros) * 1e-6; }
+    constexpr double millis() const noexcept { return static_cast<double>(micros) * 1e-3; }
+
+    friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+        return SimTime{a.micros + b.micros};
+    }
+    friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+        return SimTime{a.micros - b.micros};
+    }
+    constexpr SimTime& operator+=(SimTime o) noexcept {
+        micros += o.micros;
+        return *this;
+    }
+    friend constexpr auto operator<=>(SimTime, SimTime) = default;
+};
+
+/// Render as a human-readable duration (used by bench output).
+inline std::string to_string(SimTime t) {
+    const double s = t.seconds();
+    if (s < 1e-3) return std::to_string(t.micros) + "us";
+    if (s < 1.0) return std::to_string(t.micros / 1000) + "ms";
+    return std::to_string(s) + "s";
+}
+
+/// Monotonically advancing virtual clock shared by the engine, the disk model
+/// and the schedulers. Only the engine's event loop advances it.
+class VirtualClock {
+  public:
+    /// Current virtual time.
+    SimTime now() const noexcept { return now_; }
+
+    /// Advance by a non-negative span (charging a modelled cost).
+    void advance(SimTime dt) noexcept {
+        if (dt.micros > 0) now_ += dt;
+    }
+
+    /// Jump forward to an absolute time (e.g. the next query arrival). Never
+    /// moves backwards.
+    void advance_to(SimTime t) noexcept {
+        if (t > now_) now_ = t;
+    }
+
+    /// Reset to zero (between experiment repetitions).
+    void reset() noexcept { now_ = SimTime::zero(); }
+
+  private:
+    SimTime now_ = SimTime::zero();
+};
+
+}  // namespace jaws::util

@@ -1,0 +1,95 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace jaws::util {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n = static_cast<double>(n_ + other.n_);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / n;
+    mean_ = (mean_ * static_cast<double>(n_) + other.mean_ * static_cast<double>(other.n_)) / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ += other.n_;
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+    assert(edges_.size() >= 2);
+    assert(std::is_sorted(edges_.begin(), edges_.end()));
+    counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::add(double x) noexcept {
+    ++total_;
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+    // upper_bound index 0 => below first edge (underflow slot 0);
+    // index edges_.size() => at/above last edge (overflow slot).
+    ++counts_[static_cast<std::size_t>(it - edges_.begin())];
+}
+
+double Histogram::fraction(std::size_t i) const noexcept {
+    return total_ ? static_cast<double>(count(i)) / static_cast<double>(total_) : 0.0;
+}
+
+std::string Histogram::to_table(const std::string& value_label) const {
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof line, "%-24s %12s %8s\n", value_label.c_str(), "count", "frac");
+    out += line;
+    for (std::size_t i = 0; i < bins(); ++i) {
+        std::snprintf(line, sizeof line, "[%10.3g, %10.3g) %12llu %7.1f%%\n", lower_edge(i),
+                      upper_edge(i), static_cast<unsigned long long>(count(i)),
+                      100.0 * fraction(i));
+        out += line;
+    }
+    if (underflow() || overflow()) {
+        std::snprintf(line, sizeof line, "under=%llu over=%llu\n",
+                      static_cast<unsigned long long>(underflow()),
+                      static_cast<unsigned long long>(overflow()));
+        out += line;
+    }
+    return out;
+}
+
+double percentile(std::vector<double> sample, double p) {
+    if (sample.empty()) return 0.0;
+    std::sort(sample.begin(), sample.end());
+    const double rank = (p / 100.0) * static_cast<double>(sample.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sample.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+}  // namespace jaws::util

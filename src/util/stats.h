@@ -1,0 +1,119 @@
+// Streaming statistics, histograms and smoothing.
+//
+// The experiment harness reports throughput, response-time and cache-hit
+// figures; the adaptive age-bias controller (paper Sec. V-A) smooths per-run
+// measurements with an EWMA. These helpers are shared across all of them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jaws::util {
+
+/// Welford-style single-pass accumulator for mean/variance/min/max.
+class RunningStats {
+  public:
+    /// Add one observation.
+    void add(double x) noexcept;
+
+    /// Number of observations so far.
+    std::size_t count() const noexcept { return n_; }
+    /// Arithmetic mean (0 if empty).
+    double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    /// Unbiased sample variance (0 if fewer than two observations).
+    double variance() const noexcept;
+    /// Sample standard deviation.
+    double stddev() const noexcept;
+    /// Smallest observation (0 if empty).
+    double min() const noexcept { return n_ ? min_ : 0.0; }
+    /// Largest observation (0 if empty).
+    double max() const noexcept { return n_ ? max_ : 0.0; }
+    /// Sum of observations.
+    double sum() const noexcept { return sum_; }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    void merge(const RunningStats& other) noexcept;
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Fixed-edge histogram. Edges are user-supplied bin boundaries; values below
+/// the first edge go to an underflow bin and values at/above the last edge to
+/// an overflow bin. Used for the Fig. 8 / Fig. 9 workload characterisations.
+class Histogram {
+  public:
+    /// Construct from ascending bin edges (at least two).
+    explicit Histogram(std::vector<double> edges);
+
+    /// Count one value.
+    void add(double x) noexcept;
+
+    /// Number of interior bins (edges.size() - 1).
+    std::size_t bins() const noexcept { return counts_.size() - 2; }
+    /// Count in interior bin `i` in [0, bins()).
+    std::uint64_t count(std::size_t i) const noexcept { return counts_[i + 1]; }
+    /// Count below the first edge.
+    std::uint64_t underflow() const noexcept { return counts_.front(); }
+    /// Count at/above the last edge.
+    std::uint64_t overflow() const noexcept { return counts_.back(); }
+    /// Total number of values added.
+    std::uint64_t total() const noexcept { return total_; }
+    /// Fraction of all values landing in interior bin `i`.
+    double fraction(std::size_t i) const noexcept;
+    /// Lower/upper edge of interior bin `i`.
+    double lower_edge(std::size_t i) const noexcept { return edges_[i]; }
+    double upper_edge(std::size_t i) const noexcept { return edges_[i + 1]; }
+
+    /// Render an ASCII table with one row per interior bin.
+    std::string to_table(const std::string& value_label) const;
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> counts_;  // [underflow, bins..., overflow]
+    std::uint64_t total_ = 0;
+};
+
+/// Exact percentile of a sample (sorts a copy; fine at our sample sizes).
+/// `p` in [0, 100]. Returns 0 for an empty sample.
+double percentile(std::vector<double> sample, double p);
+
+/// Exponentially weighted moving average with weight `alpha` on the newest
+/// observation: y_i = alpha * x_i + (1 - alpha) * y_{i-1}. The paper's
+/// controller uses alpha = 0.2 (Sec. V-A).
+class Ewma {
+  public:
+    explicit Ewma(double alpha) noexcept : alpha_(alpha) {}
+
+    /// Fold in an observation and return the smoothed value. The first
+    /// observation initialises the average (rt'(0) = rt(0) in the paper).
+    double update(double x) noexcept {
+        value_ = primed_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+        primed_ = true;
+        return value_;
+    }
+
+    /// Current smoothed value (0 before any update).
+    double value() const noexcept { return value_; }
+    /// Whether at least one observation has been folded in.
+    bool primed() const noexcept { return primed_; }
+    /// Forget all history.
+    void reset() noexcept {
+        value_ = 0.0;
+        primed_ = false;
+    }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool primed_ = false;
+};
+
+}  // namespace jaws::util

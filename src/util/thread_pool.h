@@ -1,0 +1,72 @@
+// Minimal work-stealing-free thread pool.
+//
+// The cluster facade (paper Fig. 7: one JAWS instance per database node) runs
+// node engines in parallel, and some benches sweep parameters concurrently.
+// This pool provides the standard submit/future interface with a fixed worker
+// count; all synchronisation is internal.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace jaws::util {
+
+/// Fixed-size thread pool executing submitted tasks FIFO.
+class ThreadPool {
+  public:
+    /// Spawn `workers` threads (defaults to hardware concurrency, min 1).
+    explicit ThreadPool(std::size_t workers = 0);
+
+    /// Drains outstanding tasks, then joins all workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads.
+    std::size_t size() const noexcept { return threads_.size(); }
+
+    /// Submit a callable; returns a future for its result.
+    template <typename F, typename... Args>
+    auto submit(F&& f, Args&&... args)
+        -> std::future<std::invoke_result_t<F, Args...>> {
+        using R = std::invoke_result_t<F, Args...>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            [fn = std::forward<F>(f),
+             ... captured = std::forward<Args>(args)]() mutable {
+                return std::invoke(std::move(fn), std::move(captured)...);
+            });
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard lock(mutex_);
+            queue_.emplace_back([task]() { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /// Block until every task submitted so far has finished.
+    void wait_idle();
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idle_cv_;
+    std::size_t active_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace jaws::util

@@ -1,0 +1,63 @@
+// Jobs.
+//
+// A job is a collection of queries belonging to the same experiment (paper
+// Sec. IV). Ordered jobs carry data dependencies — each query may only run
+// after its predecessor, because its inputs are computed from the
+// predecessor's results (e.g. particle tracking). Batched jobs' queries are
+// mutually independent. Over 95 % of Turbulence queries belong to jobs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/query.h"
+
+namespace jaws::workload {
+
+/// Execution-order constraint class of a job (paper Sec. IV).
+enum class JobType : std::uint8_t {
+    kOrdered,  ///< Queries form a dependency chain; strict sequence.
+    kBatched,  ///< Queries are independent; any order.
+};
+
+/// One experiment: an ordered list of queries sharing a JobId.
+struct Job {
+    JobId id = 0;
+    UserId user = 0;
+    JobType type = JobType::kOrdered;
+    util::SimTime arrival;  ///< When the job (and its first query) is submitted.
+    std::vector<Query> queries;
+
+    /// Total positions over all queries.
+    std::uint64_t total_positions() const noexcept {
+        std::uint64_t n = 0;
+        for (const auto& q : queries) n += q.total_positions();
+        return n;
+    }
+
+    /// Distinct time steps the job touches (queries are step-sorted for
+    /// ordered jobs, so this is cheap but handles any order).
+    std::uint32_t timestep_span() const noexcept {
+        if (queries.empty()) return 0;
+        std::uint32_t lo = queries.front().timestep, hi = lo;
+        for (const auto& q : queries) {
+            lo = q.timestep < lo ? q.timestep : lo;
+            hi = q.timestep > hi ? q.timestep : hi;
+        }
+        return hi - lo + 1;
+    }
+};
+
+/// A full generated workload: jobs sorted by arrival time.
+struct Workload {
+    std::vector<Job> jobs;
+
+    /// Total query count.
+    std::size_t total_queries() const noexcept {
+        std::size_t n = 0;
+        for (const auto& j : jobs) n += j.queries.size();
+        return n;
+    }
+};
+
+}  // namespace jaws::workload

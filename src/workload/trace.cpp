@@ -1,0 +1,100 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace jaws::workload {
+
+std::vector<TraceRecord> flatten(const Workload& workload, const NominalCost& cost) {
+    std::vector<TraceRecord> out;
+    out.reserve(workload.total_queries());
+    for (const auto& job : workload.jobs) {
+        util::SimTime clock = job.arrival;
+        for (const auto& q : job.queries) {
+            TraceRecord r;
+            r.query = q.id;
+            r.true_job = job.id;
+            r.seq_in_job = q.seq_in_job;
+            r.user = q.user;
+            r.job_type = job.type;
+            r.timestep = q.timestep;
+            r.kind = q.kind;
+            r.positions = q.total_positions();
+            r.atoms = static_cast<std::uint32_t>(q.footprint.size());
+            if (job.type == JobType::kOrdered) {
+                // Ordered queries are submitted after the predecessor's
+                // result returns plus the user's think time.
+                clock += q.seq_in_job == 0 ? util::SimTime::zero() : q.think_time;
+                r.submit = clock;
+                const double exec_ms = cost.t_b_ms * static_cast<double>(r.atoms) +
+                                       cost.t_m_us * 1e-3 * static_cast<double>(r.positions);
+                clock += util::SimTime::from_millis(exec_ms);
+            } else {
+                // Batched queries are submitted together with a small stagger.
+                r.submit = job.arrival + q.think_time;
+            }
+            out.push_back(r);
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const TraceRecord& a, const TraceRecord& b) {
+        return a.submit == b.submit ? a.query < b.query : a.submit < b.submit;
+    });
+    return out;
+}
+
+void save_csv(const std::string& path, const std::vector<TraceRecord>& records) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) throw std::runtime_error("save_csv: cannot open " + path);
+    std::fprintf(f, "query,job,seq,user,job_type,timestep,kind,positions,atoms,submit_us\n");
+    for (const auto& r : records) {
+        std::fprintf(f, "%llu,%llu,%u,%u,%u,%u,%u,%llu,%u,%lld\n",
+                     static_cast<unsigned long long>(r.query),
+                     static_cast<unsigned long long>(r.true_job), r.seq_in_job, r.user,
+                     static_cast<unsigned>(r.job_type), r.timestep,
+                     static_cast<unsigned>(r.kind),
+                     static_cast<unsigned long long>(r.positions), r.atoms,
+                     static_cast<long long>(r.submit.micros));
+    }
+    std::fclose(f);
+}
+
+std::vector<TraceRecord> load_csv(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) throw std::runtime_error("load_csv: cannot open " + path);
+    std::vector<TraceRecord> out;
+    char line[512];
+    bool header = true;
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (header) {  // skip the header row
+            header = false;
+            continue;
+        }
+        TraceRecord r;
+        unsigned long long query = 0, job = 0, positions = 0;
+        long long submit = 0;
+        unsigned seq = 0, user = 0, job_type = 0, timestep = 0, kind = 0, atoms = 0;
+        const int n = std::sscanf(line, "%llu,%llu,%u,%u,%u,%u,%u,%llu,%u,%lld", &query, &job,
+                                  &seq, &user, &job_type, &timestep, &kind, &positions, &atoms,
+                                  &submit);
+        if (n != 10) {
+            std::fclose(f);
+            throw std::runtime_error("load_csv: malformed row in " + path);
+        }
+        r.query = query;
+        r.true_job = job;
+        r.seq_in_job = seq;
+        r.user = static_cast<UserId>(user);
+        r.job_type = static_cast<JobType>(job_type);
+        r.timestep = timestep;
+        r.kind = static_cast<storage::ComputeKind>(kind);
+        r.positions = positions;
+        r.atoms = atoms;
+        r.submit = util::SimTime::from_micros(submit);
+        out.push_back(r);
+    }
+    std::fclose(f);
+    return out;
+}
+
+}  // namespace jaws::workload

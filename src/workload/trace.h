@@ -1,0 +1,50 @@
+// Flattened query traces.
+//
+// The production system logs every query with its user, operation, time step
+// and wall-clock submission time; the paper's workload analysis (Figs. 8-9)
+// and its job-identification heuristics (Sec. IV-A) both operate on that SQL
+// log. This module flattens a generated Workload into per-query records with
+// nominal submission timestamps (arrival + accumulated think/execution
+// estimates), and round-trips records through CSV so traces can be saved,
+// inspected and replayed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace jaws::workload {
+
+/// One row of the flattened query log.
+struct TraceRecord {
+    QueryId query = 0;
+    JobId true_job = kNoJob;     ///< Ground-truth job (hidden from identification).
+    std::uint32_t seq_in_job = 0;
+    UserId user = 0;
+    JobType job_type = JobType::kOrdered;
+    std::uint32_t timestep = 0;
+    storage::ComputeKind kind = storage::ComputeKind::kVelocity;
+    std::uint64_t positions = 0;
+    std::uint32_t atoms = 0;     ///< Footprint size in atoms.
+    util::SimTime submit;        ///< Nominal wall-clock submission time.
+};
+
+/// Cost estimate used to synthesise nominal submission times: each query is
+/// assumed to take atoms * t_b_ms + positions * t_m_us before the user's
+/// think time elapses and the next query of the job is submitted.
+struct NominalCost {
+    double t_b_ms = 25.0;
+    double t_m_us = 5.0;
+};
+
+/// Flatten `workload` into submission-time-ordered records.
+std::vector<TraceRecord> flatten(const Workload& workload, const NominalCost& cost = {});
+
+/// Write records as CSV (header + one row per record).
+void save_csv(const std::string& path, const std::vector<TraceRecord>& records);
+
+/// Read records back from CSV; throws std::runtime_error on malformed input.
+std::vector<TraceRecord> load_csv(const std::string& path);
+
+}  // namespace jaws::workload

@@ -1,0 +1,94 @@
+// Tests for the atom store (storage/atom_store.h).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "storage/atom_store.h"
+#include "util/morton.h"
+
+namespace jaws::storage {
+namespace {
+
+AtomStoreSpec small_spec(bool materialize = false) {
+    AtomStoreSpec spec;
+    spec.grid.voxels_per_side = 64;
+    spec.grid.atom_side = 16;
+    spec.grid.ghost = 2;
+    spec.grid.timesteps = 3;
+    spec.field.modes = 6;
+    spec.materialize_data = materialize;
+    return spec;
+}
+
+TEST(AtomStore, IndexCoversWholeDataset) {
+    AtomStore store(small_spec());
+    EXPECT_EQ(store.index().size(), store.grid().total_atoms());
+    EXPECT_TRUE(store.index().check_invariants());
+}
+
+TEST(AtomStore, ContainsInBounds) {
+    AtomStore store(small_spec());
+    EXPECT_TRUE(store.contains({0, 0}));
+    EXPECT_TRUE(store.contains({2, util::morton_encode(3, 3, 3)}));
+    EXPECT_FALSE(store.contains({3, 0}));  // timestep out of range
+    EXPECT_FALSE(store.contains({0, util::morton_encode(4, 0, 0)}));
+}
+
+TEST(AtomStore, ReadChargesIo) {
+    AtomStore store(small_spec());
+    const ReadResult r = store.read({1, util::morton_encode(2, 1, 0)});
+    EXPECT_GT(r.io_cost.micros, 0);
+    EXPECT_EQ(r.data, nullptr);  // not materialising
+    EXPECT_EQ(store.disk_stats().requests, 1u);
+}
+
+TEST(AtomStore, ReadOutOfRangeThrows) {
+    AtomStore store(small_spec());
+    EXPECT_THROW(store.read({9, 0}), std::out_of_range);
+}
+
+TEST(AtomStore, MortonNeighborsAreCheapAfterRead) {
+    // Atoms adjacent in Morton order within a time step sit adjacently on
+    // disk: reading them in Morton order is sequential (no seek).
+    AtomStore store(small_spec());
+    std::uint64_t codes[2] = {util::morton_encode(0, 0, 0), util::morton_encode(1, 0, 0)};
+    const util::SimTime first = store.read({0, codes[0]}).io_cost;
+    const util::SimTime second = store.read({0, codes[1]}).io_cost;
+    EXPECT_LT(second.micros, first.micros + 1);  // no seek on the second
+}
+
+TEST(AtomStore, CrossTimestepReadSeeks) {
+    AtomStore store(small_spec());
+    store.read({0, 0});
+    const util::SimTime near = store.read({0, 1}).io_cost;  // sequential
+    store.read({0, 2});
+    const util::SimTime far = store.read({2, 0}).io_cost;  // jumps two steps
+    EXPECT_GT(far.micros, near.micros);
+}
+
+TEST(AtomStore, MaterializesVoxelData) {
+    AtomStore store(small_spec(true));
+    const ReadResult r = store.read({1, util::morton_encode(1, 1, 1)});
+    ASSERT_NE(r.data, nullptr);
+    EXPECT_EQ(r.data->extent(), store.grid().atom_side + 2 * store.grid().ghost);
+}
+
+TEST(AtomStore, MaterializedDataIsDeterministic) {
+    AtomStore a(small_spec(true));
+    AtomStore b(small_spec(true));
+    const AtomId id{0, util::morton_encode(2, 0, 1)};
+    const auto da = a.read(id).data;
+    const auto db = b.read(id).data;
+    EXPECT_EQ(da->at(3, 4, 5).velocity.x, db->at(3, 4, 5).velocity.x);
+    EXPECT_EQ(da->at(3, 4, 5).pressure, db->at(3, 4, 5).pressure);
+}
+
+TEST(AtomStore, ResetStatsClearsCounters) {
+    AtomStore store(small_spec());
+    store.read({0, 0});
+    store.reset_stats();
+    EXPECT_EQ(store.disk_stats().requests, 0u);
+}
+
+}  // namespace
+}  // namespace jaws::storage

@@ -1,0 +1,193 @@
+// Tests for the clustered B+ tree (storage/bptree.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "storage/atom.h"
+#include "storage/bptree.h"
+#include "util/rng.h"
+
+namespace jaws::storage {
+namespace {
+
+TEST(BPlusTree, EmptyTree) {
+    BPlusTree tree;
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.height(), 1u);
+    EXPECT_FALSE(tree.find(42).has_value());
+    EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(BPlusTree, InsertAndFind) {
+    BPlusTree tree;
+    tree.insert(10, {100, 8});
+    tree.insert(5, {50, 8});
+    tree.insert(20, {200, 8});
+    EXPECT_EQ(tree.size(), 3u);
+    EXPECT_EQ(tree.find(10)->offset, 100u);
+    EXPECT_EQ(tree.find(5)->offset, 50u);
+    EXPECT_EQ(tree.find(20)->offset, 200u);
+    EXPECT_FALSE(tree.find(15).has_value());
+}
+
+TEST(BPlusTree, OverwriteKeepsSize) {
+    BPlusTree tree;
+    tree.insert(7, {1, 1});
+    tree.insert(7, {2, 2});
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_EQ(tree.find(7)->offset, 2u);
+}
+
+TEST(BPlusTree, SplitsGrowHeight) {
+    BPlusTree tree;
+    for (std::uint64_t i = 0; i < 10000; ++i) tree.insert(i, {i, 1});
+    EXPECT_EQ(tree.size(), 10000u);
+    EXPECT_GT(tree.height(), 1u);
+    EXPECT_TRUE(tree.check_invariants());
+    for (std::uint64_t i = 0; i < 10000; i += 37) ASSERT_EQ(tree.find(i)->offset, i);
+}
+
+TEST(BPlusTree, ReverseInsertionOrder) {
+    BPlusTree tree;
+    for (std::uint64_t i = 5000; i-- > 0;) tree.insert(i, {i, 1});
+    EXPECT_EQ(tree.size(), 5000u);
+    EXPECT_TRUE(tree.check_invariants());
+    EXPECT_EQ(tree.find(0)->offset, 0u);
+    EXPECT_EQ(tree.find(4999)->offset, 4999u);
+}
+
+TEST(BPlusTree, RandomInsertMatchesStdMap) {
+    BPlusTree tree;
+    std::map<std::uint64_t, std::uint64_t> reference;
+    util::Rng rng(60);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t key = rng.uniform_u64(30000);
+        const std::uint64_t value = rng();
+        tree.insert(key, {value, 1});
+        reference[key] = value;
+    }
+    EXPECT_EQ(tree.size(), reference.size());
+    EXPECT_TRUE(tree.check_invariants());
+    for (const auto& [k, v] : reference) ASSERT_EQ(tree.find(k)->offset, v);
+}
+
+TEST(BPlusTree, ScanVisitsRangeInOrder) {
+    BPlusTree tree;
+    for (std::uint64_t i = 0; i < 1000; ++i) tree.insert(i * 3, {i, 1});
+    std::vector<std::uint64_t> seen;
+    tree.scan(30, 90, [&](std::uint64_t k, const DiskExtent&) {
+        seen.push_back(k);
+        return true;
+    });
+    // Multiples of 3 in [30, 90]: 30, 33, ..., 90 -> 21 keys.
+    ASSERT_EQ(seen.size(), 21u);
+    EXPECT_EQ(seen.front(), 30u);
+    EXPECT_EQ(seen.back(), 90u);
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(BPlusTree, ScanEarlyStop) {
+    BPlusTree tree;
+    for (std::uint64_t i = 0; i < 100; ++i) tree.insert(i, {i, 1});
+    int visits = 0;
+    tree.scan(0, 99, [&](std::uint64_t, const DiskExtent&) { return ++visits < 5; });
+    EXPECT_EQ(visits, 5);
+}
+
+TEST(BPlusTree, ScanEmptyRange) {
+    BPlusTree tree;
+    for (std::uint64_t i = 0; i < 100; i += 10) tree.insert(i, {i, 1});
+    int visits = 0;
+    tree.scan(41, 49, [&](std::uint64_t, const DiskExtent&) {
+        ++visits;
+        return true;
+    });
+    EXPECT_EQ(visits, 0);
+}
+
+TEST(BPlusTree, BulkLoadThenFind) {
+    std::vector<std::pair<std::uint64_t, DiskExtent>> records;
+    for (std::uint64_t i = 0; i < 50000; ++i) records.emplace_back(i * 2, DiskExtent{i, 4});
+    BPlusTree tree;
+    tree.bulk_load(records);
+    EXPECT_EQ(tree.size(), records.size());
+    EXPECT_TRUE(tree.check_invariants());
+    EXPECT_EQ(tree.find(0)->offset, 0u);
+    EXPECT_EQ(tree.find(99998)->offset, 49999u);
+    EXPECT_FALSE(tree.find(99999).has_value());
+    EXPECT_FALSE(tree.find(1).has_value());
+}
+
+TEST(BPlusTree, BulkLoadEmpty) {
+    BPlusTree tree;
+    tree.insert(1, {1, 1});
+    tree.bulk_load({});
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(BPlusTree, InsertAfterBulkLoad) {
+    std::vector<std::pair<std::uint64_t, DiskExtent>> records;
+    for (std::uint64_t i = 0; i < 1000; ++i) records.emplace_back(i * 10, DiskExtent{i, 1});
+    BPlusTree tree;
+    tree.bulk_load(records);
+    for (std::uint64_t i = 0; i < 1000; ++i) tree.insert(i * 10 + 5, {i, 2});
+    EXPECT_EQ(tree.size(), 2000u);
+    EXPECT_TRUE(tree.check_invariants());
+    EXPECT_EQ(tree.find(15)->length, 2u);
+    EXPECT_EQ(tree.find(10)->length, 1u);
+}
+
+TEST(BPlusTree, MoveConstructionTransfersOwnership) {
+    BPlusTree a;
+    for (std::uint64_t i = 0; i < 500; ++i) a.insert(i, {i, 1});
+    BPlusTree b(std::move(a));
+    EXPECT_EQ(b.size(), 500u);
+    EXPECT_TRUE(b.check_invariants());
+    EXPECT_EQ(b.find(123)->offset, 123u);
+}
+
+TEST(BPlusTree, MoveAssignmentReleasesOld) {
+    BPlusTree a, b;
+    for (std::uint64_t i = 0; i < 300; ++i) a.insert(i, {i, 1});
+    b.insert(9999, {1, 1});
+    b = std::move(a);
+    EXPECT_EQ(b.size(), 300u);
+    EXPECT_FALSE(b.find(9999).has_value());
+    EXPECT_TRUE(b.check_invariants());
+}
+
+TEST(BPlusTree, FullScanAscending) {
+    BPlusTree tree;
+    util::Rng rng(61);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t k = rng();
+        keys.push_back(k);
+        tree.insert(k, {k, 1});
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::vector<std::uint64_t> seen;
+    tree.scan(0, ~0ULL, [&](std::uint64_t k, const DiskExtent&) {
+        seen.push_back(k);
+        return true;
+    });
+    EXPECT_EQ(seen, keys);
+}
+
+TEST(AtomId, KeyRoundTrip) {
+    const AtomId id{17, 0xABCDEF};
+    EXPECT_EQ(AtomId::from_key(id.key()), id);
+}
+
+TEST(AtomId, KeyOrdersByTimestepThenMorton) {
+    const AtomId a{1, 999999}, b{2, 0};
+    EXPECT_LT(a.key(), b.key());
+    const AtomId c{1, 5}, d{1, 6};
+    EXPECT_LT(c.key(), d.key());
+}
+
+}  // namespace
+}  // namespace jaws::storage

@@ -1,0 +1,140 @@
+// Tests for the multi-node cluster facade (core/cluster.h).
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/engine.h"
+#include "workload/generator.h"
+
+namespace jaws::core {
+namespace {
+
+ClusterConfig small_cluster(std::size_t nodes) {
+    ClusterConfig c;
+    c.nodes = nodes;
+    c.node.grid.voxels_per_side = 256;
+    c.node.grid.atom_side = 32;
+    c.node.grid.ghost = 2;
+    c.node.grid.timesteps = 6;
+    c.node.field.modes = 6;
+    c.node.cache.capacity_atoms = 32;
+    c.node.scheduler.kind = SchedulerKind::kJaws;
+    return c;
+}
+
+workload::Workload small_workload(const ClusterConfig& config, std::size_t jobs = 30) {
+    workload::WorkloadSpec spec;
+    spec.jobs = jobs;
+    spec.seed = 41;
+    const field::SyntheticField field(config.node.field);
+    return workload::generate_workload(spec, config.node.grid, field);
+}
+
+TEST(ClusterNodeOf, CoversAllNodesContiguously) {
+    const std::uint64_t aps = 512;
+    const std::size_t nodes = 4;
+    std::size_t last = 0;
+    std::vector<bool> seen(nodes, false);
+    for (std::uint64_t m = 0; m < aps; ++m) {
+        const std::size_t n = TurbulenceCluster::node_of(m, aps, nodes);
+        ASSERT_LT(n, nodes);
+        ASSERT_GE(n, last);  // monotone in Morton order (contiguous ranges)
+        last = n;
+        seen[n] = true;
+    }
+    for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ClusterNodeOf, SingleNodeTakesAll) {
+    EXPECT_EQ(TurbulenceCluster::node_of(123, 4096, 1), 0u);
+}
+
+TEST(ClusterPartition, PreservesEveryAtomRequest) {
+    const ClusterConfig config = small_cluster(4);
+    const workload::Workload w = small_workload(config);
+    TurbulenceCluster cluster(config);
+    const auto parts = cluster.partition(w);
+    ASSERT_EQ(parts.size(), 4u);
+
+    std::uint64_t original_positions = 0, split_positions = 0;
+    std::size_t original_atoms = 0, split_atoms = 0;
+    for (const auto& job : w.jobs)
+        for (const auto& q : job.queries) {
+            original_positions += q.total_positions();
+            original_atoms += q.footprint.size();
+        }
+    for (const auto& part : parts)
+        for (const auto& job : part.jobs)
+            for (const auto& q : job.queries) {
+                split_positions += q.total_positions();
+                split_atoms += q.footprint.size();
+            }
+    EXPECT_EQ(split_positions, original_positions);
+    EXPECT_EQ(split_atoms, original_atoms);
+}
+
+TEST(ClusterPartition, EachPartOwnsOnlyItsAtoms) {
+    const ClusterConfig config = small_cluster(4);
+    const workload::Workload w = small_workload(config);
+    TurbulenceCluster cluster(config);
+    const auto parts = cluster.partition(w);
+    const std::uint64_t aps = config.node.grid.atoms_per_step();
+    for (std::size_t n = 0; n < parts.size(); ++n)
+        for (const auto& job : parts[n].jobs)
+            for (const auto& q : job.queries)
+                for (const auto& req : q.footprint)
+                    ASSERT_EQ(TurbulenceCluster::node_of(req.atom.morton, aps, 4), n);
+}
+
+TEST(ClusterPartition, SequencesStayContiguous) {
+    const ClusterConfig config = small_cluster(4);
+    const workload::Workload w = small_workload(config);
+    TurbulenceCluster cluster(config);
+    for (const auto& part : cluster.partition(w))
+        for (const auto& job : part.jobs) {
+            ASSERT_FALSE(job.queries.empty());
+            for (std::size_t i = 0; i < job.queries.size(); ++i)
+                ASSERT_EQ(job.queries[i].seq_in_job, i);
+        }
+}
+
+TEST(ClusterRun, AggregatesAllNodes) {
+    const ClusterConfig config = small_cluster(4);
+    const workload::Workload w = small_workload(config);
+    TurbulenceCluster cluster(config);
+    const ClusterReport report = cluster.run(w);
+    EXPECT_EQ(report.per_node.size(), 4u);
+    EXPECT_GT(report.total_throughput_qps, 0.0);
+    EXPECT_GT(report.makespan.micros, 0);
+    std::size_t parts = 0;
+    for (const auto& r : report.per_node) parts += r.queries;
+    EXPECT_GT(parts, 0u);
+    EXPECT_GE(report.cache_hit_rate, 0.0);
+    EXPECT_LE(report.cache_hit_rate, 1.0);
+}
+
+TEST(ClusterRun, SingleNodeMatchesEngine) {
+    ClusterConfig config = small_cluster(1);
+    const workload::Workload w = small_workload(config, 15);
+    TurbulenceCluster cluster(config);
+    const ClusterReport cr = cluster.run(w);
+    Engine engine(config.node);
+    const RunReport er = engine.run(w);
+    ASSERT_EQ(cr.per_node.size(), 1u);
+    EXPECT_EQ(cr.per_node[0].queries, er.queries);
+    EXPECT_EQ(cr.per_node[0].atom_reads, er.atom_reads);
+    EXPECT_EQ(cr.makespan, er.makespan);
+}
+
+TEST(ClusterRun, MoreNodesFinishSooner) {
+    ClusterConfig one = small_cluster(1);
+    ClusterConfig four = small_cluster(4);
+    const workload::Workload w = small_workload(one, 40);
+    const ClusterReport r1 = TurbulenceCluster(one).run(w);
+    const ClusterReport r4 = TurbulenceCluster(four).run(w);
+    // Four nodes each serve a quarter of the atoms: the slowest node's
+    // makespan must not exceed the single node's.
+    EXPECT_LE(r4.makespan.micros, r1.makespan.micros);
+}
+
+}  // namespace
+}  // namespace jaws::core

@@ -1,0 +1,97 @@
+// Tests for the simulated disk (storage/disk_model.h).
+#include <gtest/gtest.h>
+
+#include "storage/disk_model.h"
+
+namespace jaws::storage {
+namespace {
+
+DiskSpec spec() {
+    DiskSpec s;
+    s.settle_ms = 1.0;
+    s.seek_full_stroke_ms = 14.0;
+    s.transfer_mb_per_s = 100.0;  // 1 MB = 10 ms
+    s.capacity_bytes = 100ULL << 20;
+    return s;
+}
+
+// Pure transfer time of `bytes` under spec(): bytes / (100 MB/s), in ms.
+double transfer_ms(std::uint64_t bytes) {
+    return static_cast<double>(bytes) / (100.0 * 1e6) * 1e3;
+}
+
+TEST(DiskModel, SequentialReadPaysNoSeek) {
+    DiskModel disk(spec());
+    disk.read(0, 1 << 20);  // head now at 1 MiB
+    const util::SimTime cost = disk.read(1 << 20, 1 << 20);
+    EXPECT_NEAR(cost.millis(), transfer_ms(1 << 20), 2e-3);  // SimTime quantises to us
+}
+
+TEST(DiskModel, FirstReadAtNonZeroOffsetSeeks) {
+    DiskModel disk(spec());
+    const util::SimTime cost = disk.read(10 << 20, 1 << 20);
+    EXPECT_GT(cost.millis(), transfer_ms(1 << 20) + 0.9);
+}
+
+TEST(DiskModel, SeekGrowsWithDistance) {
+    DiskModel disk(spec());
+    disk.read(0, 1);  // park the head near 0
+    const double near = disk.peek_cost(1 << 20, 1 << 20).millis();
+    const double far = disk.peek_cost(90ULL << 20, 1 << 20).millis();
+    EXPECT_GT(far, near);
+}
+
+TEST(DiskModel, FullStrokeBounded) {
+    DiskModel disk(spec());
+    disk.read(0, 1);
+    const double cost = disk.peek_cost(100ULL << 20, 1 << 20).millis();
+    // settle + full stroke + transfer.
+    EXPECT_NEAR(cost, 1.0 + 14.0 + transfer_ms(1 << 20), 0.6);
+}
+
+TEST(DiskModel, TransferProportionalToBytes) {
+    DiskModel disk(spec());
+    const double one = disk.read(0, 1 << 20).millis();
+    DiskModel disk2(spec());
+    const double four = disk2.read(0, 4 << 20).millis();
+    EXPECT_NEAR(four, 4.0 * one, 5e-3);
+}
+
+TEST(DiskModel, PeekDoesNotMoveHead) {
+    DiskModel disk(spec());
+    disk.read(0, 1 << 20);
+    const double peeked = disk.peek_cost(50ULL << 20, 1 << 20).millis();
+    EXPECT_DOUBLE_EQ(disk.peek_cost(50ULL << 20, 1 << 20).millis(), peeked);
+    EXPECT_EQ(disk.stats().requests, 1u);
+}
+
+TEST(DiskModel, PeekMatchesRead) {
+    DiskModel disk(spec());
+    disk.read(0, 1 << 20);
+    const double peeked = disk.peek_cost(7 << 20, 2 << 20).millis();
+    EXPECT_DOUBLE_EQ(disk.read(7 << 20, 2 << 20).millis(), peeked);
+}
+
+TEST(DiskModel, StatsAccounting) {
+    DiskModel disk(spec());
+    disk.read(0, 1 << 20);
+    disk.read(1 << 20, 1 << 20);  // sequential
+    disk.read(50 << 20, 1 << 20);
+    const DiskStats& s = disk.stats();
+    EXPECT_EQ(s.requests, 3u);
+    EXPECT_EQ(s.sequential_requests, 2u);  // the first read starts at head 0
+    EXPECT_EQ(s.bytes_read, 3u << 20);
+    EXPECT_GT(s.busy_time.millis(), 0.0);
+}
+
+TEST(DiskModel, ResetStatsKeepsHead) {
+    DiskModel disk(spec());
+    disk.read(0, 1 << 20);
+    disk.reset_stats();
+    EXPECT_EQ(disk.stats().requests, 0u);
+    // Head survives the reset: continuing at 1 MiB is sequential.
+    EXPECT_NEAR(disk.read(1 << 20, 1 << 20).millis(), transfer_ms(1 << 20), 2e-3);
+}
+
+}  // namespace
+}  // namespace jaws::storage

@@ -1,0 +1,235 @@
+// End-to-end tests for the single-node engine (core/engine.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/engine.h"
+#include "workload/generator.h"
+
+namespace jaws::core {
+namespace {
+
+EngineConfig small_config(SchedulerKind kind) {
+    EngineConfig c;
+    c.grid.voxels_per_side = 256;
+    c.grid.atom_side = 32;
+    c.grid.ghost = 2;
+    c.grid.timesteps = 8;
+    c.field.modes = 6;
+    c.cache.capacity_atoms = 32;
+    c.scheduler.kind = kind;
+    c.run_length = 50;
+    return c;
+}
+
+workload::Workload small_workload(const EngineConfig& config, std::size_t jobs = 40,
+                                  std::uint64_t seed = 3) {
+    workload::WorkloadSpec spec;
+    spec.jobs = jobs;
+    spec.seed = seed;
+    const field::SyntheticField field(config.field);
+    return workload::generate_workload(spec, config.grid, field);
+}
+
+class EngineAllSchedulers : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(EngineAllSchedulers, CompletesEveryQueryExactlyOnce) {
+    const EngineConfig config = small_config(GetParam());
+    const workload::Workload w = small_workload(config);
+    Engine engine(config);
+    const RunReport report = engine.run(w);
+    EXPECT_EQ(report.queries, w.total_queries());
+    EXPECT_EQ(report.jobs, w.jobs.size());
+
+    std::unordered_set<workload::QueryId> seen;
+    for (const auto& o : engine.outcomes()) {
+        ASSERT_TRUE(seen.insert(o.query).second) << "query completed twice";
+        ASSERT_GE(o.response().micros, 0);
+        ASSERT_GE(o.completed.micros, o.visible.micros);
+    }
+    EXPECT_EQ(seen.size(), w.total_queries());
+}
+
+TEST_P(EngineAllSchedulers, ConservesPositionsAndSubqueries) {
+    const EngineConfig config = small_config(GetParam());
+    const workload::Workload w = small_workload(config);
+    std::uint64_t positions = 0, subqueries = 0;
+    for (const auto& job : w.jobs)
+        for (const auto& q : job.queries) {
+            positions += q.total_positions();
+            subqueries += q.footprint.size();
+        }
+    Engine engine(config);
+    const RunReport report = engine.run(w);
+    EXPECT_EQ(report.positions, positions);
+    EXPECT_EQ(report.subqueries, subqueries);
+}
+
+TEST_P(EngineAllSchedulers, OrderedJobsCompleteInSequence) {
+    const EngineConfig config = small_config(GetParam());
+    const workload::Workload w = small_workload(config);
+    Engine engine(config);
+    engine.run(w);
+    // Completion times within an ordered job must ascend with seq.
+    std::unordered_map<workload::QueryId, util::SimTime> completed;
+    for (const auto& o : engine.outcomes()) completed[o.query] = o.completed;
+    for (const auto& job : w.jobs) {
+        if (job.type != workload::JobType::kOrdered) continue;
+        for (std::size_t i = 1; i < job.queries.size(); ++i)
+            ASSERT_GE(completed.at(job.queries[i].id).micros,
+                      completed.at(job.queries[i - 1].id).micros);
+    }
+}
+
+TEST_P(EngineAllSchedulers, ReportInternallyConsistent) {
+    const EngineConfig config = small_config(GetParam());
+    const workload::Workload w = small_workload(config);
+    Engine engine(config);
+    const RunReport report = engine.run(w);
+    EXPECT_GT(report.makespan.micros, 0);
+    EXPECT_GT(report.throughput_qps, 0.0);
+    EXPECT_GT(report.busy_throughput_qps, 0.0);
+    EXPECT_GE(report.busy_throughput_qps, report.throughput_qps);
+    EXPECT_GT(report.mean_response_ms, 0.0);
+    EXPECT_GE(report.p95_response_ms, report.median_response_ms);
+    // Disk requests == cache-fill reads (primary misses only; support ghost
+    // reads are charged without going through the store).
+    EXPECT_EQ(report.disk.requests, report.atom_reads);
+    EXPECT_EQ(report.cache.misses >= report.atom_reads, true);
+    EXPECT_EQ(report.job_span_ms.size(), w.jobs.size());
+}
+
+TEST_P(EngineAllSchedulers, DeterministicAcrossRuns) {
+    const EngineConfig config = small_config(GetParam());
+    const workload::Workload w = small_workload(config);
+    Engine a(config), b(config);
+    const RunReport ra = a.run(w);
+    const RunReport rb = b.run(w);
+    EXPECT_EQ(ra.makespan, rb.makespan);
+    EXPECT_EQ(ra.atom_reads, rb.atom_reads);
+    EXPECT_EQ(ra.cache.hits, rb.cache.hits);
+    EXPECT_DOUBLE_EQ(ra.mean_response_ms, rb.mean_response_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, EngineAllSchedulers,
+                         ::testing::Values(SchedulerKind::kNoShare,
+                                           SchedulerKind::kLifeRaft,
+                                           SchedulerKind::kJaws));
+
+TEST(Engine, SingleShot) {
+    const EngineConfig config = small_config(SchedulerKind::kNoShare);
+    const workload::Workload w = small_workload(config, 5);
+    Engine engine(config);
+    engine.run(w);
+    EXPECT_THROW(engine.run(w), std::logic_error);
+}
+
+TEST(Engine, EmptyWorkloadTrivially) {
+    const EngineConfig config = small_config(SchedulerKind::kJaws);
+    Engine engine(config);
+    const RunReport report = engine.run(workload::Workload{});
+    EXPECT_EQ(report.queries, 0u);
+}
+
+TEST(Engine, GatingNeverForcesPromotions) {
+    EngineConfig config = small_config(SchedulerKind::kJaws);
+    config.scheduler.jaws.job_aware = true;
+    const workload::Workload w = small_workload(config, 60, 17);
+    Engine engine(config);
+    const RunReport report = engine.run(w);
+    EXPECT_GT(report.gating.alignments_run, 0u);
+    EXPECT_EQ(report.gating.forced_promotions, 0u);
+}
+
+TEST(Engine, JobAwareReducesReads) {
+    EngineConfig with = small_config(SchedulerKind::kJaws);
+    with.scheduler.jaws.job_aware = true;
+    EngineConfig without = with;
+    without.scheduler.jaws.job_aware = false;
+    const workload::Workload w = small_workload(with, 80, 23);
+    Engine ea(with), eb(without);
+    const RunReport ra = ea.run(w);
+    const RunReport rb = eb.run(w);
+    // Job-awareness must not increase I/O (usually strictly decreases it).
+    EXPECT_LE(ra.atom_reads, rb.atom_reads + rb.atom_reads / 20);
+}
+
+TEST(Engine, CachePolicySelectionWired) {
+    for (const CachePolicy policy :
+         {CachePolicy::kLru, CachePolicy::kLruK, CachePolicy::kSlru, CachePolicy::kUrc}) {
+        EngineConfig config = small_config(SchedulerKind::kJaws);
+        config.cache.policy = policy;
+        Engine engine(config);
+        const RunReport report = engine.run(small_workload(config, 10));
+        EXPECT_GT(report.queries, 0u);
+        EXPECT_FALSE(report.cache_policy.empty());
+    }
+}
+
+TEST(Engine, BatchSchedulersShareMoreThanNoShare) {
+    EngineConfig noshare = small_config(SchedulerKind::kNoShare);
+    EngineConfig jaws = small_config(SchedulerKind::kJaws);
+    const workload::Workload w = small_workload(noshare, 80, 29);
+    Engine en(noshare), ej(jaws);
+    const RunReport rn = en.run(w);
+    const RunReport rj = ej.run(w);
+    EXPECT_LT(rj.atom_reads, rn.atom_reads);
+}
+
+TEST(Engine, SpeedupIncreasesResponseTimes) {
+    EngineConfig config = small_config(SchedulerKind::kNoShare);
+    workload::Workload base = small_workload(config, 60, 31);
+    workload::Workload fast = base;
+    workload::apply_speedup(fast, 8.0);
+    Engine ea(config), eb(config);
+    const RunReport slow = ea.run(base);
+    const RunReport quick = eb.run(fast);
+    EXPECT_GT(quick.mean_response_ms, slow.mean_response_ms * 0.9);
+}
+
+TEST(Engine, AdaptiveAlphaMovesUnderLoad) {
+    EngineConfig config = small_config(SchedulerKind::kJaws);
+    config.scheduler.jaws.adaptive_alpha = true;
+    config.scheduler.jaws.alpha.initial_alpha = 0.5;
+    config.run_length = 40;
+    workload::Workload w = small_workload(config, 100, 37);
+    workload::apply_speedup(w, 8.0);  // heavy saturation
+    Engine engine(config);
+    const RunReport report = engine.run(w);
+    // Under sustained saturation the controller should have moved alpha away
+    // from its initial value (typically towards contention, i.e. below 0.5).
+    EXPECT_NE(report.final_alpha, 0.5);
+}
+
+
+TEST(Engine, TimelineCollectsWindows) {
+    EngineConfig config = small_config(SchedulerKind::kJaws);
+    config.timeline_window_s = 30.0;
+    const workload::Workload w = small_workload(config, 40, 3);
+    Engine engine(config);
+    const RunReport report = engine.run(w);
+    ASSERT_FALSE(report.timeline.empty());
+    std::uint64_t completions = 0;
+    util::SimTime last{-1};
+    for (const auto& point : report.timeline) {
+        completions += point.completions;
+        ASSERT_GT(point.window_end.micros, last.micros);
+        last = point.window_end;
+        ASSERT_GE(point.cache_hit_rate, 0.0);
+        ASSERT_LE(point.cache_hit_rate, 1.0);
+        ASSERT_GE(point.alpha, 0.0);
+        ASSERT_LE(point.alpha, 1.0);
+    }
+    EXPECT_EQ(completions, report.queries);
+}
+
+TEST(Engine, TimelineDisabledByDefault) {
+    const EngineConfig config = small_config(SchedulerKind::kNoShare);
+    const workload::Workload w = small_workload(config, 10);
+    Engine engine(config);
+    EXPECT_TRUE(engine.run(w).timeline.empty());
+}
+
+}  // namespace
+}  // namespace jaws::core

@@ -1,0 +1,149 @@
+// Tests for Lagrange interpolation (field/interpolation.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "field/grid.h"
+#include "field/interpolation.h"
+#include "util/rng.h"
+
+namespace jaws::field {
+namespace {
+
+GridSpec test_grid() {
+    GridSpec g;
+    g.voxels_per_side = 64;
+    g.atom_side = 16;
+    g.ghost = 4;  // room for order-8 kernels
+    g.timesteps = 2;
+    return g;
+}
+
+TEST(KernelHalfWidth, MatchesOrder) {
+    EXPECT_EQ(kernel_half_width(InterpOrder::kLinear), 1u);
+    EXPECT_EQ(kernel_half_width(InterpOrder::kLag4), 2u);
+    EXPECT_EQ(kernel_half_width(InterpOrder::kLag6), 3u);
+    EXPECT_EQ(kernel_half_width(InterpOrder::kLag8), 4u);
+}
+
+class LagrangeWeights : public ::testing::TestWithParam<InterpOrder> {};
+
+TEST_P(LagrangeWeights, PartitionOfUnity) {
+    util::Rng rng(50);
+    for (int i = 0; i < 100; ++i) {
+        const double frac = rng.uniform();
+        double w[8];
+        lagrange_weights(frac, GetParam(), w);
+        double sum = 0.0;
+        for (int j = 0; j < static_cast<int>(GetParam()); ++j) sum += w[j];
+        ASSERT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST_P(LagrangeWeights, ReproducesLinearFunctions) {
+    // Lagrange weights of any order reproduce polynomials up to order-1
+    // exactly; check degree 1 at the nodes' coordinates.
+    util::Rng rng(51);
+    const int n = static_cast<int>(GetParam());
+    for (int i = 0; i < 50; ++i) {
+        const double frac = rng.uniform();
+        double w[8];
+        lagrange_weights(frac, GetParam(), w);
+        double interpolated = 0.0;
+        for (int j = 0; j < n; ++j) {
+            const double node = static_cast<double>(j - (n / 2 - 1));
+            interpolated += w[j] * (3.0 * node - 2.0);
+        }
+        ASSERT_NEAR(interpolated, 3.0 * frac - 2.0, 1e-10);
+    }
+}
+
+TEST_P(LagrangeWeights, ExactAtNodes) {
+    const int n = static_cast<int>(GetParam());
+    // frac = 0 corresponds to node index n/2 - 1.
+    double w[8];
+    lagrange_weights(0.0, GetParam(), w);
+    for (int j = 0; j < n; ++j)
+        EXPECT_NEAR(w[j], j == n / 2 - 1 ? 1.0 : 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, LagrangeWeights,
+                         ::testing::Values(InterpOrder::kLinear, InterpOrder::kLag4,
+                                           InterpOrder::kLag6, InterpOrder::kLag8));
+
+class InterpolateField : public ::testing::TestWithParam<InterpOrder> {};
+
+TEST_P(InterpolateField, ApproximatesAnalyticField) {
+    const GridSpec g = test_grid();
+    const SyntheticField f({.seed = 52, .modes = 6, .max_wavenumber = 3.0});
+    const util::Coord3 atom{1, 2, 1};
+    const VoxelBlock block(g, f, atom, 0);
+    util::Rng rng(53);
+    const double atom_extent = 1.0 / g.atoms_per_side();
+    double max_err = 0.0;
+    for (int i = 0; i < 60; ++i) {
+        // Random position strictly inside the atom.
+        const Vec3 p{(atom.x + 0.1 + 0.8 * rng.uniform()) * atom_extent,
+                     (atom.y + 0.1 + 0.8 * rng.uniform()) * atom_extent,
+                     (atom.z + 0.1 + 0.8 * rng.uniform()) * atom_extent};
+        const FlowSample got = interpolate(g, block, atom, p, GetParam());
+        const FlowSample want = f.sample(p, 0.0);
+        max_err = std::max(max_err, std::fabs(got.velocity.x - want.velocity.x));
+        max_err = std::max(max_err, std::fabs(got.pressure - want.pressure));
+    }
+    // The 64-voxel grid resolves wavenumber <= 3 well; even linear
+    // interpolation lands within a few percent, higher orders much closer.
+    const double tolerance = GetParam() == InterpOrder::kLinear ? 5e-2 : 5e-3;
+    EXPECT_LT(max_err, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, InterpolateField,
+                         ::testing::Values(InterpOrder::kLinear, InterpOrder::kLag4,
+                                           InterpOrder::kLag6, InterpOrder::kLag8));
+
+TEST(Interpolate, HigherOrderIsMoreAccurate) {
+    const GridSpec g = test_grid();
+    const SyntheticField f({.seed = 54, .modes = 10, .max_wavenumber = 5.0});
+    const util::Coord3 atom{2, 2, 2};
+    const VoxelBlock block(g, f, atom, 0);
+    util::Rng rng(55);
+    const double atom_extent = 1.0 / g.atoms_per_side();
+    double err2 = 0.0, err8 = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const Vec3 p{(atom.x + 0.1 + 0.8 * rng.uniform()) * atom_extent,
+                     (atom.y + 0.1 + 0.8 * rng.uniform()) * atom_extent,
+                     (atom.z + 0.1 + 0.8 * rng.uniform()) * atom_extent};
+        const FlowSample want = f.sample(p, 0.0);
+        err2 += std::fabs(
+            interpolate(g, block, atom, p, InterpOrder::kLinear).velocity.x -
+            want.velocity.x);
+        err8 += std::fabs(interpolate(g, block, atom, p, InterpOrder::kLag8).velocity.x -
+                          want.velocity.x);
+    }
+    EXPECT_LT(err8, err2);
+}
+
+TEST(Interpolate, BoundaryPositionsUseGhosts) {
+    // Positions at the very edge of the atom must still interpolate (the
+    // ghost replication exists precisely for this) and match the field.
+    const GridSpec g = test_grid();
+    const SyntheticField f({.seed = 56, .modes = 6, .max_wavenumber = 3.0});
+    const util::Coord3 atom{0, 0, 0};
+    const VoxelBlock block(g, f, atom, 1);
+    const double atom_extent = 1.0 / g.atoms_per_side();
+    const double eps = 1e-4;
+    const Vec3 corners[] = {
+        {eps, eps, eps},
+        {atom_extent - eps, atom_extent - eps, atom_extent - eps},
+        {eps, atom_extent - eps, eps},
+    };
+    for (const Vec3& p : corners) {
+        const FlowSample got = interpolate(g, block, atom, p, InterpOrder::kLag8);
+        const FlowSample want = f.sample(p, g.sim_time(1));
+        EXPECT_NEAR(got.velocity.x, want.velocity.x, 5e-3);
+        EXPECT_NEAR(got.velocity.z, want.velocity.z, 5e-3);
+    }
+}
+
+}  // namespace
+}  // namespace jaws::field

@@ -1,0 +1,139 @@
+// Tests for the job-identification heuristics (workload/job_identifier.h).
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/job_identifier.h"
+
+namespace jaws::workload {
+namespace {
+
+TraceRecord record(QueryId id, JobId job, UserId user, std::uint32_t step,
+                   double submit_s, storage::ComputeKind kind = storage::ComputeKind::kVelocity) {
+    TraceRecord r;
+    r.query = id;
+    r.true_job = job;
+    r.user = user;
+    r.timestep = step;
+    r.submit = util::SimTime::from_seconds(submit_s);
+    r.kind = kind;
+    return r;
+}
+
+TEST(JobIdentifier, SingleChainRecovered) {
+    std::vector<TraceRecord> records;
+    for (std::uint32_t i = 0; i < 10; ++i)
+        records.push_back(record(i + 1, 1, 7, i, 10.0 * i));
+    const auto labels = identify_jobs(records);
+    for (std::size_t i = 1; i < labels.size(); ++i) ASSERT_EQ(labels[i], labels[0]);
+}
+
+TEST(JobIdentifier, DifferentUsersNeverMerge) {
+    std::vector<TraceRecord> records;
+    records.push_back(record(1, 1, 1, 0, 0.0));
+    records.push_back(record(2, 2, 2, 0, 1.0));
+    const auto labels = identify_jobs(records);
+    EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(JobIdentifier, DifferentOperationsSplit) {
+    std::vector<TraceRecord> records;
+    records.push_back(record(1, 1, 1, 0, 0.0, storage::ComputeKind::kVelocity));
+    records.push_back(record(2, 1, 1, 0, 1.0, storage::ComputeKind::kFlowStats));
+    const auto labels = identify_jobs(records);
+    EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(JobIdentifier, LongGapSplitsSessions) {
+    JobIdentifierConfig config;
+    config.max_gap_s = 100.0;
+    std::vector<TraceRecord> records;
+    records.push_back(record(1, 1, 1, 0, 0.0));
+    records.push_back(record(2, 1, 1, 1, 500.0));  // half an hour later
+    const auto labels = identify_jobs(records, config);
+    EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(JobIdentifier, StepJumpSplits) {
+    std::vector<TraceRecord> records;
+    records.push_back(record(1, 1, 1, 0, 0.0));
+    records.push_back(record(2, 2, 1, 15, 5.0));  // jump of 15 steps
+    const auto labels = identify_jobs(records);
+    EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(JobIdentifier, DirectionReversalSplits) {
+    // An ordered iteration that went 3 -> 4 -> 5 should not absorb a query at
+    // step 4 going backwards (different experiment pass).
+    std::vector<TraceRecord> records;
+    records.push_back(record(1, 1, 1, 3, 0.0));
+    records.push_back(record(2, 1, 1, 4, 5.0));
+    records.push_back(record(3, 1, 1, 5, 10.0));
+    records.push_back(record(4, 2, 1, 4, 15.0));
+    const auto labels = identify_jobs(records);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[1], labels[2]);
+    EXPECT_NE(labels[3], labels[2]);
+}
+
+TEST(JobIdentifier, ConcurrentSameUserSessionsSeparatedByStep) {
+    // One user runs two interleaved experiments on distant steps.
+    std::vector<TraceRecord> records;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        records.push_back(record(2 * i + 1, 1, 1, i, 10.0 * i));
+        records.push_back(record(2 * i + 2, 2, 1, 20 + i, 10.0 * i + 5.0));
+    }
+    const auto labels = identify_jobs(records);
+    for (std::size_t i = 0; i < records.size(); i += 2) ASSERT_EQ(labels[i], labels[0]);
+    for (std::size_t i = 1; i < records.size(); i += 2) ASSERT_EQ(labels[i], labels[1]);
+    EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(EvaluateIdentification, PerfectAssignmentScoresOne) {
+    std::vector<TraceRecord> records;
+    for (std::uint32_t i = 0; i < 8; ++i) records.push_back(record(i, i / 4 + 1, 1, 0, i));
+    std::vector<JobId> labels = {10, 10, 10, 10, 20, 20, 20, 20};
+    const auto q = evaluate_identification(records, labels);
+    EXPECT_DOUBLE_EQ(q.pair_precision, 1.0);
+    EXPECT_DOUBLE_EQ(q.pair_recall, 1.0);
+    EXPECT_DOUBLE_EQ(q.exact_jobs, 1.0);
+    EXPECT_DOUBLE_EQ(q.f1(), 1.0);
+}
+
+TEST(EvaluateIdentification, OverMergedHurtsPrecision) {
+    std::vector<TraceRecord> records;
+    for (std::uint32_t i = 0; i < 4; ++i) records.push_back(record(i, i / 2 + 1, 1, 0, i));
+    const std::vector<JobId> labels = {1, 1, 1, 1};  // everything merged
+    const auto q = evaluate_identification(records, labels);
+    EXPECT_LT(q.pair_precision, 1.0);
+    EXPECT_DOUBLE_EQ(q.pair_recall, 1.0);
+    EXPECT_DOUBLE_EQ(q.exact_jobs, 0.0);
+}
+
+TEST(EvaluateIdentification, OverSplitHurtsRecall) {
+    std::vector<TraceRecord> records;
+    for (std::uint32_t i = 0; i < 4; ++i) records.push_back(record(i, 1, 1, 0, i));
+    const std::vector<JobId> labels = {1, 2, 3, 4};  // everything split
+    const auto q = evaluate_identification(records, labels);
+    EXPECT_DOUBLE_EQ(q.pair_precision, 1.0);
+    EXPECT_LT(q.pair_recall, 1.0);
+}
+
+TEST(JobIdentifier, HighAccuracyOnGeneratedTrace) {
+    // The paper calls the heuristics "highly accurate in practice"; require a
+    // strong pairwise F1 on a realistic generated trace.
+    WorkloadSpec spec;
+    spec.jobs = 150;
+    spec.seed = 5;
+    const field::GridSpec grid;
+    const field::SyntheticField field(field::FieldSpec{.modes = 6});
+    const Workload w = generate_workload(spec, grid, field);
+    const auto records = flatten(w);
+    const auto labels = identify_jobs(records);
+    const auto q = evaluate_identification(records, labels);
+    EXPECT_GT(q.pair_precision, 0.6);
+    EXPECT_GT(q.pair_recall, 0.6);
+    EXPECT_GT(q.f1(), 0.7);
+}
+
+}  // namespace
+}  // namespace jaws::workload

@@ -1,0 +1,49 @@
+// Tests for the leveled logger (util/logging.h).
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace jaws::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+  protected:
+    void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn) { EXPECT_EQ(log_level(), LogLevel::kWarn); }
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+    set_log_level(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    set_log_level(LogLevel::kOff);
+    EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, LevelsAreOrdered) {
+    EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+    EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+    EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+    EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, EmitBelowThresholdDoesNotCrash) {
+    set_log_level(LogLevel::kError);
+    JAWS_LOG_DEBUG("test", "dropped %d", 1);
+    JAWS_LOG_INFO("test", "dropped %s", "too");
+    JAWS_LOG_WARN("test", "dropped");
+}
+
+TEST_F(LoggingTest, EmitAtThresholdDoesNotCrash) {
+    set_log_level(LogLevel::kOff);  // silence even errors for the test run
+    JAWS_LOG_ERROR("test", "formatted %d %s %f", 42, "str", 3.14);
+}
+
+TEST_F(LoggingTest, LongMessagesTruncateSafely) {
+    set_log_level(LogLevel::kOff);
+    std::string big(5000, 'x');
+    JAWS_LOG_ERROR("test", "%s", big.c_str());
+}
+
+}  // namespace
+}  // namespace jaws::util

@@ -1,0 +1,157 @@
+// Tests for particle-tracking jobs (workload/particle_tracker.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "workload/particle_tracker.h"
+
+namespace jaws::workload {
+namespace {
+
+field::GridSpec small_grid() {
+    field::GridSpec g;
+    g.voxels_per_side = 64;
+    g.atom_side = 16;
+    g.ghost = 2;
+    g.timesteps = 12;
+    return g;
+}
+
+TEST(SeedParticles, CountAndContainment) {
+    ParticleTrackingSpec spec;
+    spec.particles = 300;
+    spec.seed_center = {0.5, 0.5, 0.5};
+    spec.seed_radius = 0.1;
+    const auto cloud = seed_particles(spec);
+    ASSERT_EQ(cloud.size(), 300u);
+    for (const auto& p : cloud) {
+        const double dx = p.x - 0.5, dy = p.y - 0.5, dz = p.z - 0.5;
+        ASSERT_LE(std::sqrt(dx * dx + dy * dy + dz * dz), 0.1 + 1e-12);
+    }
+}
+
+TEST(SeedParticles, DeterministicInSeed) {
+    ParticleTrackingSpec spec;
+    spec.particles = 50;
+    const auto a = seed_particles(spec);
+    const auto b = seed_particles(spec);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_DOUBLE_EQ(a[i].x, b[i].x);
+        ASSERT_DOUBLE_EQ(a[i].y, b[i].y);
+        ASSERT_DOUBLE_EQ(a[i].z, b[i].z);
+    }
+}
+
+TEST(SeedParticles, WrapsAcrossTorusBoundary) {
+    ParticleTrackingSpec spec;
+    spec.particles = 200;
+    spec.seed_center = {0.02, 0.5, 0.98};
+    spec.seed_radius = 0.05;
+    for (const auto& p : seed_particles(spec)) {
+        ASSERT_GE(p.x, 0.0);
+        ASSERT_LT(p.x, 1.0);
+        ASSERT_GE(p.z, 0.0);
+        ASSERT_LT(p.z, 1.0);
+    }
+}
+
+TEST(AdvectCloud, PreservesCount) {
+    const field::SyntheticField f({.seed = 80, .modes = 6});
+    ParticleTrackingSpec spec;
+    spec.particles = 64;
+    const auto cloud = seed_particles(spec);
+    const auto moved = advect_cloud(f, cloud, 0.0, 0.01);
+    EXPECT_EQ(moved.size(), cloud.size());
+}
+
+TEST(AdvectCloud, ParticlesActuallyMove) {
+    const field::SyntheticField f({.seed = 81, .modes = 6});
+    ParticleTrackingSpec spec;
+    spec.particles = 32;
+    const auto cloud = seed_particles(spec);
+    const auto moved = advect_cloud(f, cloud, 0.0, 0.05);
+    double displacement = 0.0;
+    for (std::size_t i = 0; i < cloud.size(); ++i)
+        displacement += std::fabs(moved[i].x - cloud[i].x);
+    EXPECT_GT(displacement, 0.0);
+}
+
+TEST(FootprintOfPositions, GroupsByAtomAndSorts) {
+    const field::GridSpec grid = small_grid();
+    // Four positions: two in atom (0,0,0), one each in two other atoms.
+    const std::vector<field::Vec3> positions = {
+        {0.05, 0.05, 0.05}, {0.1, 0.1, 0.1}, {0.3, 0.05, 0.05}, {0.05, 0.3, 0.05}};
+    const auto fp = footprint_of_positions(grid, 2, positions);
+    ASSERT_EQ(fp.size(), 3u);
+    std::uint64_t total = 0;
+    for (const auto& r : fp) {
+        ASSERT_EQ(r.atom.timestep, 2u);
+        total += r.positions;
+    }
+    EXPECT_EQ(total, positions.size());
+    EXPECT_TRUE(std::is_sorted(fp.begin(), fp.end(),
+                               [](const AtomRequest& a, const AtomRequest& b) {
+                                   return a.atom.morton < b.atom.morton;
+                               }));
+    EXPECT_EQ(fp.front().positions, 2u);  // atom (0,0,0) is Morton-first here
+}
+
+TEST(MakeParticleTrackingJob, StructureIsOrderedChain) {
+    const field::GridSpec grid = small_grid();
+    const field::SyntheticField f({.seed = 82, .modes = 6});
+    ParticleTrackingSpec spec;
+    spec.particles = 100;
+    spec.start_step = 2;
+    spec.steps = 5;
+    const Job job = make_particle_tracking_job(spec, grid, f, 42, 3,
+                                               util::SimTime::from_seconds(10));
+    EXPECT_EQ(job.id, 42u);
+    EXPECT_EQ(job.type, JobType::kOrdered);
+    ASSERT_EQ(job.queries.size(), 5u);
+    for (std::size_t i = 0; i < job.queries.size(); ++i) {
+        const Query& q = job.queries[i];
+        ASSERT_EQ(q.seq_in_job, i);
+        ASSERT_EQ(q.timestep, 2 + i);
+        ASSERT_EQ(q.positions.size(), 100u);
+        ASSERT_FALSE(q.footprint.empty());
+        // Footprint must match the explicit positions exactly.
+        ASSERT_EQ(q.total_positions(), q.positions.size());
+        for (const auto& p : q.positions)
+            ASSERT_EQ(grid.atom_morton_of(p),
+                      grid.atom_morton_of(p));  // well-formed position
+    }
+}
+
+TEST(MakeParticleTrackingJob, ConsecutiveQueriesAreAdvectionsOfPredecessor) {
+    const field::GridSpec grid = small_grid();
+    const field::SyntheticField f({.seed = 83, .modes = 6});
+    ParticleTrackingSpec spec;
+    spec.particles = 20;
+    spec.start_step = 0;
+    spec.steps = 3;
+    const Job job = make_particle_tracking_job(spec, grid, f, 1, 1, util::SimTime::zero());
+    const auto expected =
+        advect_cloud(f, job.queries[0].positions, grid.sim_time(0), grid.dt);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_DOUBLE_EQ(job.queries[1].positions[i].x, expected[i].x);
+        ASSERT_DOUBLE_EQ(job.queries[1].positions[i].y, expected[i].y);
+    }
+}
+
+TEST(MakeParticleTrackingJob, BackwardTracking) {
+    const field::GridSpec grid = small_grid();
+    const field::SyntheticField f({.seed = 84, .modes = 6});
+    ParticleTrackingSpec spec;
+    spec.particles = 10;
+    spec.start_step = 8;
+    spec.steps = 4;
+    spec.direction = -1;
+    const Job job = make_particle_tracking_job(spec, grid, f, 1, 1, util::SimTime::zero());
+    ASSERT_EQ(job.queries.size(), 4u);
+    EXPECT_EQ(job.queries[0].timestep, 8u);
+    EXPECT_EQ(job.queries[3].timestep, 5u);
+}
+
+}  // namespace
+}  // namespace jaws::workload

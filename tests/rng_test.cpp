@@ -1,0 +1,133 @@
+// Tests for the deterministic PRNG and its distributions (util/rng.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace jaws::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == b()) ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+    Rng a(7);
+    const std::uint64_t first = a();
+    a();
+    a.reseed(7);
+    EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.5, 3.5);
+        ASSERT_GE(u, -2.5);
+        ASSERT_LT(u, 3.5);
+    }
+}
+
+TEST(Rng, UniformU64InRange) {
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.uniform_u64(17), 17u);
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+    Rng rng(6);
+    bool seen[7] = {};
+    for (int i = 0; i < 1000; ++i) seen[rng.uniform_u64(7)] = true;
+    for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformIntClosedRange) {
+    Rng rng(8);
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.uniform_int(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+    }
+}
+
+TEST(Rng, BernoulliMean) {
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(10);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(4.0));
+    EXPECT_NEAR(stats.mean(), 4.0, 0.15);
+    EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 40000; ++i) stats.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+    Rng rng(12);
+    std::vector<double> sample;
+    for (int i = 0; i < 20000; ++i) sample.push_back(rng.lognormal(1.5, 0.7));
+    EXPECT_NEAR(percentile(sample, 50.0), std::exp(1.5), 0.15);
+}
+
+TEST(Rng, ZipfRankZeroMostFrequent) {
+    Rng rng(13);
+    std::uint64_t counts[10] = {};
+    for (int i = 0; i < 30000; ++i) ++counts[rng.zipf(10, 1.2)];
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[4]);
+    EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, ZipfWithinRange) {
+    Rng rng(14);
+    for (int i = 0; i < 5000; ++i) ASSERT_LT(rng.zipf(5, 1.0), 5u);
+}
+
+TEST(Rng, PoissonMean) {
+    Rng rng(15);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) stats.add(static_cast<double>(rng.poisson(3.0)));
+    EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng a(16);
+    Rng child = a.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == child()) ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace jaws::util

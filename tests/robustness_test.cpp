@@ -1,0 +1,175 @@
+// Robustness / edge-case tests across the stack: degenerate configurations,
+// boundary datasets, and hostile-but-legal inputs must not crash or violate
+// invariants.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/engine.h"
+#include "workload/generator.h"
+
+namespace jaws {
+namespace {
+
+core::EngineConfig tiny_config() {
+    core::EngineConfig c;
+    c.grid.voxels_per_side = 64;
+    c.grid.atom_side = 32;  // 2 atoms per side -> 8 atoms per step
+    c.grid.ghost = 2;
+    c.grid.timesteps = 2;
+    c.field.modes = 4;
+    c.cache.capacity_atoms = 2;
+    return c;
+}
+
+workload::Job single_query_job(workload::QueryId qid, std::uint64_t morton,
+                               std::uint32_t step = 0) {
+    workload::Job job;
+    job.id = qid;
+    job.type = workload::JobType::kBatched;
+    workload::Query q;
+    q.id = qid;
+    q.job = job.id;
+    q.timestep = step;
+    q.footprint.push_back(workload::AtomRequest{{step, morton}, 5});
+    job.queries.push_back(q);
+    return job;
+}
+
+TEST(Robustness, TinyDatasetTinyCache) {
+    for (const core::SchedulerKind kind :
+         {core::SchedulerKind::kNoShare, core::SchedulerKind::kLifeRaft,
+          core::SchedulerKind::kJaws}) {
+        core::EngineConfig config = tiny_config();
+        config.scheduler.kind = kind;
+        workload::Workload w;
+        for (workload::QueryId i = 1; i <= 20; ++i)
+            w.jobs.push_back(single_query_job(i, i % 8, i % 2));
+        core::Engine engine(config);
+        const core::RunReport report = engine.run(w);
+        ASSERT_EQ(report.queries, 20u);
+    }
+}
+
+TEST(Robustness, OneAtomCacheNeverUnderflows) {
+    core::EngineConfig config = tiny_config();
+    config.cache.capacity_atoms = 1;
+    config.scheduler.kind = core::SchedulerKind::kJaws;
+    workload::Workload w;
+    for (workload::QueryId i = 1; i <= 30; ++i)
+        w.jobs.push_back(single_query_job(i, i % 8));
+    core::Engine engine(config);
+    EXPECT_EQ(engine.run(w).queries, 30u);
+}
+
+TEST(Robustness, SingleJobSingleQuery) {
+    core::EngineConfig config = tiny_config();
+    workload::Workload w;
+    w.jobs.push_back(single_query_job(1, 0));
+    core::Engine engine(config);
+    const core::RunReport report = engine.run(w);
+    EXPECT_EQ(report.queries, 1u);
+    EXPECT_GT(report.makespan.micros, 0);
+}
+
+TEST(Robustness, JobWithEmptyQueryListIsSkipped) {
+    core::EngineConfig config = tiny_config();
+    workload::Workload w;
+    workload::Job empty;
+    empty.id = 1;
+    w.jobs.push_back(empty);
+    w.jobs.push_back(single_query_job(2, 3));
+    core::Engine engine(config);
+    const core::RunReport report = engine.run(w);
+    EXPECT_EQ(report.queries, 1u);
+}
+
+TEST(Robustness, ManyIdenticalQueriesCollapseToSharedReads) {
+    core::EngineConfig config = tiny_config();
+    config.scheduler.kind = core::SchedulerKind::kLifeRaft;
+    workload::Workload w;
+    for (workload::QueryId i = 1; i <= 50; ++i) w.jobs.push_back(single_query_job(i, 4));
+    core::Engine engine(config);
+    const core::RunReport report = engine.run(w);
+    EXPECT_EQ(report.queries, 50u);
+    // All fifty queries hit the same atom; the batcher needs very few reads.
+    EXPECT_LE(report.atom_reads, 5u);
+}
+
+TEST(Robustness, HugeSpeedupCollapsesArrivals) {
+    core::EngineConfig config = tiny_config();
+    config.scheduler.kind = core::SchedulerKind::kJaws;
+    workload::WorkloadSpec spec;
+    spec.jobs = 15;
+    const field::SyntheticField field(config.field);
+    workload::Workload w = workload::generate_workload(spec, config.grid, field);
+    workload::apply_speedup(w, 1e9);  // everything at t ~ first arrival
+    core::Engine engine(config);
+    EXPECT_EQ(engine.run(w).queries, w.total_queries());
+}
+
+TEST(Robustness, ExtremeSlowdownStillCompletes) {
+    core::EngineConfig config = tiny_config();
+    workload::WorkloadSpec spec;
+    spec.jobs = 5;
+    const field::SyntheticField field(config.field);
+    workload::Workload w = workload::generate_workload(spec, config.grid, field);
+    workload::apply_speedup(w, 1e-3);  // gaps stretched a thousandfold
+    core::Engine engine(config);
+    EXPECT_EQ(engine.run(w).queries, w.total_queries());
+}
+
+TEST(Robustness, ClusterWithMoreNodesThanAtoms) {
+    core::ClusterConfig config;
+    config.node = tiny_config();  // 8 atoms per step
+    config.nodes = 16;            // more nodes than atoms
+    workload::Workload w;
+    for (workload::QueryId i = 1; i <= 10; ++i) w.jobs.push_back(single_query_job(i, i % 8));
+    core::TurbulenceCluster cluster(config);
+    const core::ClusterReport report = cluster.run(w);
+    std::size_t total = 0;
+    for (const auto& r : report.per_node) total += r.queries;
+    EXPECT_EQ(total, 10u);
+}
+
+TEST(Robustness, QosAndPrefetchTogether) {
+    core::EngineConfig config = tiny_config();
+    config.scheduler.kind = core::SchedulerKind::kJaws;
+    config.scheduler.jaws.qos.enabled = true;
+    config.scheduler.jaws.qos.slack_factor = 10.0;
+    config.prefetch.enabled = true;
+    workload::WorkloadSpec spec;
+    spec.jobs = 20;
+    const field::SyntheticField field(config.field);
+    const workload::Workload w = workload::generate_workload(spec, config.grid, field);
+    core::Engine engine(config);
+    const core::RunReport report = engine.run(w);
+    EXPECT_EQ(report.queries, w.total_queries());
+    EXPECT_EQ(report.qos.guaranteed, w.total_queries());
+}
+
+TEST(Robustness, ZeroRunLengthDisablesRunBoundaries) {
+    core::EngineConfig config = tiny_config();
+    config.run_length = 0;
+    config.cache.policy = core::CachePolicy::kSlru;  // depends on run boundaries
+    workload::Workload w;
+    for (workload::QueryId i = 1; i <= 10; ++i) w.jobs.push_back(single_query_job(i, i % 8));
+    core::Engine engine(config);
+    EXPECT_EQ(engine.run(w).queries, 10u);
+}
+
+TEST(Robustness, AllSchedulersHandleMaterializedData) {
+    for (const core::SchedulerKind kind :
+         {core::SchedulerKind::kNoShare, core::SchedulerKind::kLifeRaft,
+          core::SchedulerKind::kJaws}) {
+        core::EngineConfig config = tiny_config();
+        config.materialize_data = true;
+        config.scheduler.kind = kind;
+        workload::Workload w;
+        for (workload::QueryId i = 1; i <= 6; ++i) w.jobs.push_back(single_query_job(i, i % 8));
+        core::Engine engine(config);
+        ASSERT_EQ(engine.run(w).queries, 6u);
+    }
+}
+
+}  // namespace
+}  // namespace jaws

@@ -1,0 +1,72 @@
+// Tests for virtual time and the virtual clock (util/sim_time.h).
+#include <gtest/gtest.h>
+
+#include "util/sim_time.h"
+
+namespace jaws::util {
+namespace {
+
+TEST(SimTime, Conversions) {
+    EXPECT_EQ(SimTime::from_seconds(1.5).micros, 1'500'000);
+    EXPECT_EQ(SimTime::from_millis(2.5).micros, 2'500);
+    EXPECT_DOUBLE_EQ(SimTime::from_micros(3'000'000).seconds(), 3.0);
+    EXPECT_DOUBLE_EQ(SimTime::from_micros(1'500).millis(), 1.5);
+}
+
+TEST(SimTime, Arithmetic) {
+    const SimTime a = SimTime::from_millis(5);
+    const SimTime b = SimTime::from_millis(3);
+    EXPECT_EQ((a + b).micros, 8'000);
+    EXPECT_EQ((a - b).micros, 2'000);
+    SimTime c = a;
+    c += b;
+    EXPECT_EQ(c.micros, 8'000);
+}
+
+TEST(SimTime, Comparisons) {
+    EXPECT_LT(SimTime::from_millis(1), SimTime::from_millis(2));
+    EXPECT_EQ(SimTime::zero(), SimTime::from_micros(0));
+    EXPECT_GE(SimTime::from_seconds(1), SimTime::from_millis(1000));
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+    EXPECT_EQ(to_string(SimTime::from_micros(12)), "12us");
+    EXPECT_EQ(to_string(SimTime::from_millis(12)), "12ms");
+    EXPECT_NE(to_string(SimTime::from_seconds(2)).find("s"), std::string::npos);
+}
+
+TEST(VirtualClock, StartsAtZero) {
+    VirtualClock clock;
+    EXPECT_EQ(clock.now(), SimTime::zero());
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+    VirtualClock clock;
+    clock.advance(SimTime::from_millis(10));
+    clock.advance(SimTime::from_millis(5));
+    EXPECT_EQ(clock.now().micros, 15'000);
+}
+
+TEST(VirtualClock, NegativeAdvanceIgnored) {
+    VirtualClock clock;
+    clock.advance(SimTime::from_millis(10));
+    clock.advance(SimTime::from_micros(-500));
+    EXPECT_EQ(clock.now().micros, 10'000);
+}
+
+TEST(VirtualClock, AdvanceToNeverMovesBack) {
+    VirtualClock clock;
+    clock.advance_to(SimTime::from_millis(20));
+    clock.advance_to(SimTime::from_millis(5));
+    EXPECT_EQ(clock.now().micros, 20'000);
+}
+
+TEST(VirtualClock, ResetReturnsToZero) {
+    VirtualClock clock;
+    clock.advance(SimTime::from_seconds(1));
+    clock.reset();
+    EXPECT_EQ(clock.now(), SimTime::zero());
+}
+
+}  // namespace
+}  // namespace jaws::util

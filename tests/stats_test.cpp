@@ -1,0 +1,157 @@
+// Tests for streaming statistics, histograms, percentiles, EWMA (util/stats.h).
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace jaws::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+    RunningStats s;
+    s.add(3.25);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.25);
+    EXPECT_DOUBLE_EQ(s.max(), 3.25);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+    Rng rng(21);
+    RunningStats whole, left, right;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.normal(1.0, 2.0);
+        whole.add(x);
+        (i < 200 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Histogram, BasicBinning) {
+    Histogram h({0.0, 1.0, 2.0, 5.0});
+    h.add(0.5);
+    h.add(1.0);  // lands in [1,2)
+    h.add(1.9);
+    h.add(4.99);
+    EXPECT_EQ(h.bins(), 3u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+    Histogram h({0.0, 1.0});
+    h.add(-0.1);
+    h.add(1.0);  // at the last edge => overflow
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(Histogram, Fractions) {
+    Histogram h({0.0, 10.0, 20.0});
+    for (int i = 0; i < 3; ++i) h.add(5.0);
+    h.add(15.0);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Histogram, EdgesAccessors) {
+    Histogram h({1.0, 2.0, 4.0});
+    EXPECT_DOUBLE_EQ(h.lower_edge(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.upper_edge(1), 4.0);
+}
+
+TEST(Histogram, TableRendersEveryBin) {
+    Histogram h({0.0, 1.0, 2.0});
+    h.add(0.5);
+    h.add(1.5);
+    const std::string table = h.to_table("value");
+    EXPECT_NE(table.find("value"), std::string::npos);
+    EXPECT_NE(table.find("50.0%"), std::string::npos);
+}
+
+TEST(Percentile, EmptySample) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(Percentile, MedianOfOddSample) {
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+    // rank = 0.5 between 1 and 2.
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 50.0), 1.5);
+}
+
+TEST(Percentile, Extremes) {
+    const std::vector<double> v{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Ewma, FirstObservationPrimes) {
+    Ewma e(0.2);
+    EXPECT_FALSE(e.primed());
+    EXPECT_DOUBLE_EQ(e.update(10.0), 10.0);
+    EXPECT_TRUE(e.primed());
+}
+
+TEST(Ewma, PaperSmoothingFormula) {
+    // rt'(i) = 0.2 rt(i) + 0.8 rt'(i-1), rt'(0) = rt(0) — Sec. V-A.
+    Ewma e(0.2);
+    e.update(100.0);
+    EXPECT_DOUBLE_EQ(e.update(50.0), 0.2 * 50.0 + 0.8 * 100.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+    Ewma e(0.2);
+    for (int i = 0; i < 200; ++i) e.update(7.0);
+    EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, ResetForgets) {
+    Ewma e(0.5);
+    e.update(4.0);
+    e.reset();
+    EXPECT_FALSE(e.primed());
+    EXPECT_DOUBLE_EQ(e.update(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace jaws::util

@@ -1,0 +1,74 @@
+// Tests for the thread pool (util/thread_pool.h).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace jaws::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures) {
+    ThreadPool pool(2);
+    auto f = pool.submit([](int a, int b) { return a * b; }, 6, 7);
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+    ThreadPool pool;
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+    ThreadPool pool(1);
+    auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            done.fetch_add(1);
+        });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i) pool.submit([&done] { done.fetch_add(1); });
+    }
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, ManyTasksOnSingleWorkerPreserveAllResults) {
+    ThreadPool pool(1);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i) futures.push_back(pool.submit([i] { return i; }));
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+}
+
+}  // namespace
+}  // namespace jaws::util

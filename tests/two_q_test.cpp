@@ -1,0 +1,109 @@
+// Tests for the 2Q replacement policy (cache/two_q.h).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/buffer_cache.h"
+#include "cache/two_q.h"
+
+namespace jaws::cache {
+namespace {
+
+storage::AtomId atom(std::uint64_t m) { return storage::AtomId{0, m}; }
+
+TEST(TwoQ, NewAtomsEnterA1in) {
+    auto policy = std::make_unique<TwoQPolicy>(8, 0.5);
+    TwoQPolicy* raw = policy.get();
+    BufferCache cache(8, std::move(policy));
+    cache.insert(atom(1));
+    cache.insert(atom(2));
+    EXPECT_EQ(raw->a1in_size(), 2u);
+    EXPECT_EQ(raw->am_size(), 0u);
+}
+
+TEST(TwoQ, A1inEvictsFifo) {
+    auto policy = std::make_unique<TwoQPolicy>(2, 0.5);  // in_cap = 1
+    BufferCache cache(2, std::move(policy));
+    cache.insert(atom(1));
+    cache.insert(atom(2));
+    const auto evicted = cache.insert(atom(3));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, atom(1));  // oldest FIFO entry
+}
+
+TEST(TwoQ, GhostReReferencePromotesToAm) {
+    auto policy = std::make_unique<TwoQPolicy>(2, 0.5);
+    TwoQPolicy* raw = policy.get();
+    BufferCache cache(2, std::move(policy));
+    cache.insert(atom(1));
+    cache.insert(atom(2));
+    cache.insert(atom(3));  // evicts 1 -> ghost
+    EXPECT_EQ(raw->ghost_size(), 1u);
+    cache.insert(atom(1));  // ghosted atom returns -> straight into Am
+    EXPECT_EQ(raw->am_size(), 1u);
+}
+
+TEST(TwoQ, A1inAccessDoesNotPromote) {
+    auto policy = std::make_unique<TwoQPolicy>(4, 0.5);
+    TwoQPolicy* raw = policy.get();
+    BufferCache cache(4, std::move(policy));
+    cache.insert(atom(1));
+    cache.lookup(atom(1));  // correlated reference
+    cache.lookup(atom(1));
+    EXPECT_EQ(raw->am_size(), 0u);
+    EXPECT_EQ(raw->a1in_size(), 1u);
+}
+
+TEST(TwoQ, ScanResistance) {
+    // A hot atom promoted to Am survives a long one-shot scan.
+    auto policy = std::make_unique<TwoQPolicy>(4, 0.25);  // in_cap = 1
+    BufferCache cache(4, std::move(policy));
+    const auto hot = atom(99);
+    cache.insert(hot);
+    // Fill to capacity and push one more: hot is the A1in FIFO victim.
+    for (std::uint64_t i = 1; i <= 4; ++i) cache.insert(atom(i));
+    ASSERT_FALSE(cache.contains(hot));  // ghosted now
+    cache.insert(hot);                  // ghost re-reference -> Am
+    // Scan 20 cold atoms through the cache: victims drain A1in, not Am.
+    for (std::uint64_t i = 10; i < 30; ++i) cache.insert(atom(i));
+    EXPECT_TRUE(cache.contains(hot));
+}
+
+TEST(TwoQ, AmUsesLruOrder) {
+    auto policy = std::make_unique<TwoQPolicy>(3, 0.34);  // in_cap = 1
+    TwoQPolicy* raw = policy.get();
+    BufferCache cache(3, std::move(policy));
+    cache.insert(atom(1));
+    cache.insert(atom(2));
+    cache.insert(atom(3));   // at capacity; A1in = [3, 2, 1]
+    cache.insert(atom(4));   // evicts 1 (FIFO) -> ghost
+    cache.insert(atom(1));   // 1 -> Am; evicts 2 -> ghost
+    cache.insert(atom(2));   // 2 -> Am (MRU); evicts 3 -> ghost; A1in = [4]
+    ASSERT_EQ(raw->am_size(), 2u);
+    cache.lookup(atom(1));   // refresh: Am = [1 (MRU), 2]
+    // A1in is within its cap, so the next eviction takes the Am LRU tail.
+    const auto evicted = cache.insert(atom(5));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, atom(2));
+}
+
+TEST(TwoQ, GhostListBounded) {
+    auto policy = std::make_unique<TwoQPolicy>(2, 0.5);
+    TwoQPolicy* raw = policy.get();
+    BufferCache cache(2, std::move(policy));
+    for (std::uint64_t i = 0; i < 50; ++i) cache.insert(atom(i));
+    EXPECT_LE(raw->ghost_size(), 2u);  // ghost cap == capacity
+}
+
+TEST(TwoQ, WorksAsEnginePolicy) {
+    BufferCache cache(4, std::make_unique<TwoQPolicy>(4));
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const auto a = atom(i % 7);
+        if (!cache.lookup(a)) cache.insert(a);
+    }
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_GT(cache.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace jaws::cache
