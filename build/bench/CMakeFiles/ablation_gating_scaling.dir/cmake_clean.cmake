@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gating_scaling.dir/ablation_gating_scaling.cpp.o"
+  "CMakeFiles/ablation_gating_scaling.dir/ablation_gating_scaling.cpp.o.d"
+  "ablation_gating_scaling"
+  "ablation_gating_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gating_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

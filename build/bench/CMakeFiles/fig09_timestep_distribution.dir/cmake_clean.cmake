@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_timestep_distribution.dir/fig09_timestep_distribution.cpp.o"
+  "CMakeFiles/fig09_timestep_distribution.dir/fig09_timestep_distribution.cpp.o.d"
+  "fig09_timestep_distribution"
+  "fig09_timestep_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_timestep_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_saturation.dir/fig11_saturation.cpp.o"
+  "CMakeFiles/fig11_saturation.dir/fig11_saturation.cpp.o.d"
+  "fig11_saturation"
+  "fig11_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

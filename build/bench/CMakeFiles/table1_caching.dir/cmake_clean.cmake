@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_caching.dir/table1_caching.cpp.o"
+  "CMakeFiles/table1_caching.dir/table1_caching.cpp.o.d"
+  "table1_caching"
+  "table1_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

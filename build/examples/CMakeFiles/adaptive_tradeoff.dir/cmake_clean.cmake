@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tradeoff.dir/adaptive_tradeoff.cpp.o"
+  "CMakeFiles/adaptive_tradeoff.dir/adaptive_tradeoff.cpp.o.d"
+  "adaptive_tradeoff"
+  "adaptive_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_tracking.dir/particle_tracking.cpp.o"
+  "CMakeFiles/particle_tracking.dir/particle_tracking.cpp.o.d"
+  "particle_tracking"
+  "particle_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

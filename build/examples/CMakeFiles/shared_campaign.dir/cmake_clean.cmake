@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_campaign.dir/shared_campaign.cpp.o"
+  "CMakeFiles/shared_campaign.dir/shared_campaign.cpp.o.d"
+  "shared_campaign"
+  "shared_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

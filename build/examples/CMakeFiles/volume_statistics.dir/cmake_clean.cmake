@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_statistics.dir/volume_statistics.cpp.o"
+  "CMakeFiles/volume_statistics.dir/volume_statistics.cpp.o.d"
+  "volume_statistics"
+  "volume_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

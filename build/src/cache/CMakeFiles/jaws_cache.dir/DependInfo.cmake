@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/buffer_cache.cpp" "src/cache/CMakeFiles/jaws_cache.dir/buffer_cache.cpp.o" "gcc" "src/cache/CMakeFiles/jaws_cache.dir/buffer_cache.cpp.o.d"
+  "/root/repo/src/cache/lru.cpp" "src/cache/CMakeFiles/jaws_cache.dir/lru.cpp.o" "gcc" "src/cache/CMakeFiles/jaws_cache.dir/lru.cpp.o.d"
+  "/root/repo/src/cache/lru_k.cpp" "src/cache/CMakeFiles/jaws_cache.dir/lru_k.cpp.o" "gcc" "src/cache/CMakeFiles/jaws_cache.dir/lru_k.cpp.o.d"
+  "/root/repo/src/cache/slru.cpp" "src/cache/CMakeFiles/jaws_cache.dir/slru.cpp.o" "gcc" "src/cache/CMakeFiles/jaws_cache.dir/slru.cpp.o.d"
+  "/root/repo/src/cache/two_q.cpp" "src/cache/CMakeFiles/jaws_cache.dir/two_q.cpp.o" "gcc" "src/cache/CMakeFiles/jaws_cache.dir/two_q.cpp.o.d"
+  "/root/repo/src/cache/urc.cpp" "src/cache/CMakeFiles/jaws_cache.dir/urc.cpp.o" "gcc" "src/cache/CMakeFiles/jaws_cache.dir/urc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jaws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jaws_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/jaws_field.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

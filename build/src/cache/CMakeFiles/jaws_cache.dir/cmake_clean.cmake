@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaws_cache.dir/buffer_cache.cpp.o"
+  "CMakeFiles/jaws_cache.dir/buffer_cache.cpp.o.d"
+  "CMakeFiles/jaws_cache.dir/lru.cpp.o"
+  "CMakeFiles/jaws_cache.dir/lru.cpp.o.d"
+  "CMakeFiles/jaws_cache.dir/lru_k.cpp.o"
+  "CMakeFiles/jaws_cache.dir/lru_k.cpp.o.d"
+  "CMakeFiles/jaws_cache.dir/slru.cpp.o"
+  "CMakeFiles/jaws_cache.dir/slru.cpp.o.d"
+  "CMakeFiles/jaws_cache.dir/two_q.cpp.o"
+  "CMakeFiles/jaws_cache.dir/two_q.cpp.o.d"
+  "CMakeFiles/jaws_cache.dir/urc.cpp.o"
+  "CMakeFiles/jaws_cache.dir/urc.cpp.o.d"
+  "libjaws_cache.a"
+  "libjaws_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaws_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaws_core.dir/cluster.cpp.o"
+  "CMakeFiles/jaws_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/jaws_core.dir/direct_executor.cpp.o"
+  "CMakeFiles/jaws_core.dir/direct_executor.cpp.o.d"
+  "CMakeFiles/jaws_core.dir/engine.cpp.o"
+  "CMakeFiles/jaws_core.dir/engine.cpp.o.d"
+  "CMakeFiles/jaws_core.dir/metrics.cpp.o"
+  "CMakeFiles/jaws_core.dir/metrics.cpp.o.d"
+  "libjaws_core.a"
+  "libjaws_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaws_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

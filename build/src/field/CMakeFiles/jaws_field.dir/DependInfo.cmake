@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/grid.cpp" "src/field/CMakeFiles/jaws_field.dir/grid.cpp.o" "gcc" "src/field/CMakeFiles/jaws_field.dir/grid.cpp.o.d"
+  "/root/repo/src/field/interpolation.cpp" "src/field/CMakeFiles/jaws_field.dir/interpolation.cpp.o" "gcc" "src/field/CMakeFiles/jaws_field.dir/interpolation.cpp.o.d"
+  "/root/repo/src/field/synthetic_field.cpp" "src/field/CMakeFiles/jaws_field.dir/synthetic_field.cpp.o" "gcc" "src/field/CMakeFiles/jaws_field.dir/synthetic_field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jaws_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaws_field.dir/grid.cpp.o"
+  "CMakeFiles/jaws_field.dir/grid.cpp.o.d"
+  "CMakeFiles/jaws_field.dir/interpolation.cpp.o"
+  "CMakeFiles/jaws_field.dir/interpolation.cpp.o.d"
+  "CMakeFiles/jaws_field.dir/synthetic_field.cpp.o"
+  "CMakeFiles/jaws_field.dir/synthetic_field.cpp.o.d"
+  "libjaws_field.a"
+  "libjaws_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaws_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

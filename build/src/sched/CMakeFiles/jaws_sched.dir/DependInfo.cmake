@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adaptive_alpha.cpp" "src/sched/CMakeFiles/jaws_sched.dir/adaptive_alpha.cpp.o" "gcc" "src/sched/CMakeFiles/jaws_sched.dir/adaptive_alpha.cpp.o.d"
+  "/root/repo/src/sched/alignment.cpp" "src/sched/CMakeFiles/jaws_sched.dir/alignment.cpp.o" "gcc" "src/sched/CMakeFiles/jaws_sched.dir/alignment.cpp.o.d"
+  "/root/repo/src/sched/jaws.cpp" "src/sched/CMakeFiles/jaws_sched.dir/jaws.cpp.o" "gcc" "src/sched/CMakeFiles/jaws_sched.dir/jaws.cpp.o.d"
+  "/root/repo/src/sched/liferaft.cpp" "src/sched/CMakeFiles/jaws_sched.dir/liferaft.cpp.o" "gcc" "src/sched/CMakeFiles/jaws_sched.dir/liferaft.cpp.o.d"
+  "/root/repo/src/sched/noshare.cpp" "src/sched/CMakeFiles/jaws_sched.dir/noshare.cpp.o" "gcc" "src/sched/CMakeFiles/jaws_sched.dir/noshare.cpp.o.d"
+  "/root/repo/src/sched/precedence_graph.cpp" "src/sched/CMakeFiles/jaws_sched.dir/precedence_graph.cpp.o" "gcc" "src/sched/CMakeFiles/jaws_sched.dir/precedence_graph.cpp.o.d"
+  "/root/repo/src/sched/prefetcher.cpp" "src/sched/CMakeFiles/jaws_sched.dir/prefetcher.cpp.o" "gcc" "src/sched/CMakeFiles/jaws_sched.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/sched/subquery.cpp" "src/sched/CMakeFiles/jaws_sched.dir/subquery.cpp.o" "gcc" "src/sched/CMakeFiles/jaws_sched.dir/subquery.cpp.o.d"
+  "/root/repo/src/sched/workload_manager.cpp" "src/sched/CMakeFiles/jaws_sched.dir/workload_manager.cpp.o" "gcc" "src/sched/CMakeFiles/jaws_sched.dir/workload_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jaws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jaws_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/jaws_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jaws_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/jaws_field.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaws_sched.dir/adaptive_alpha.cpp.o"
+  "CMakeFiles/jaws_sched.dir/adaptive_alpha.cpp.o.d"
+  "CMakeFiles/jaws_sched.dir/alignment.cpp.o"
+  "CMakeFiles/jaws_sched.dir/alignment.cpp.o.d"
+  "CMakeFiles/jaws_sched.dir/jaws.cpp.o"
+  "CMakeFiles/jaws_sched.dir/jaws.cpp.o.d"
+  "CMakeFiles/jaws_sched.dir/liferaft.cpp.o"
+  "CMakeFiles/jaws_sched.dir/liferaft.cpp.o.d"
+  "CMakeFiles/jaws_sched.dir/noshare.cpp.o"
+  "CMakeFiles/jaws_sched.dir/noshare.cpp.o.d"
+  "CMakeFiles/jaws_sched.dir/precedence_graph.cpp.o"
+  "CMakeFiles/jaws_sched.dir/precedence_graph.cpp.o.d"
+  "CMakeFiles/jaws_sched.dir/prefetcher.cpp.o"
+  "CMakeFiles/jaws_sched.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/jaws_sched.dir/subquery.cpp.o"
+  "CMakeFiles/jaws_sched.dir/subquery.cpp.o.d"
+  "CMakeFiles/jaws_sched.dir/workload_manager.cpp.o"
+  "CMakeFiles/jaws_sched.dir/workload_manager.cpp.o.d"
+  "libjaws_sched.a"
+  "libjaws_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaws_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/atom_store.cpp" "src/storage/CMakeFiles/jaws_storage.dir/atom_store.cpp.o" "gcc" "src/storage/CMakeFiles/jaws_storage.dir/atom_store.cpp.o.d"
+  "/root/repo/src/storage/bptree.cpp" "src/storage/CMakeFiles/jaws_storage.dir/bptree.cpp.o" "gcc" "src/storage/CMakeFiles/jaws_storage.dir/bptree.cpp.o.d"
+  "/root/repo/src/storage/database_node.cpp" "src/storage/CMakeFiles/jaws_storage.dir/database_node.cpp.o" "gcc" "src/storage/CMakeFiles/jaws_storage.dir/database_node.cpp.o.d"
+  "/root/repo/src/storage/disk_model.cpp" "src/storage/CMakeFiles/jaws_storage.dir/disk_model.cpp.o" "gcc" "src/storage/CMakeFiles/jaws_storage.dir/disk_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jaws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/jaws_field.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaws_storage.dir/atom_store.cpp.o"
+  "CMakeFiles/jaws_storage.dir/atom_store.cpp.o.d"
+  "CMakeFiles/jaws_storage.dir/bptree.cpp.o"
+  "CMakeFiles/jaws_storage.dir/bptree.cpp.o.d"
+  "CMakeFiles/jaws_storage.dir/database_node.cpp.o"
+  "CMakeFiles/jaws_storage.dir/database_node.cpp.o.d"
+  "CMakeFiles/jaws_storage.dir/disk_model.cpp.o"
+  "CMakeFiles/jaws_storage.dir/disk_model.cpp.o.d"
+  "libjaws_storage.a"
+  "libjaws_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaws_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

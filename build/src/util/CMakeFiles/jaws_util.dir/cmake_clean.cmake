@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaws_util.dir/logging.cpp.o"
+  "CMakeFiles/jaws_util.dir/logging.cpp.o.d"
+  "CMakeFiles/jaws_util.dir/morton.cpp.o"
+  "CMakeFiles/jaws_util.dir/morton.cpp.o.d"
+  "CMakeFiles/jaws_util.dir/stats.cpp.o"
+  "CMakeFiles/jaws_util.dir/stats.cpp.o.d"
+  "CMakeFiles/jaws_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/jaws_util.dir/thread_pool.cpp.o.d"
+  "libjaws_util.a"
+  "libjaws_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaws_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

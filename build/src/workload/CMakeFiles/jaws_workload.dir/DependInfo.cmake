@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/jaws_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/jaws_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/job_identifier.cpp" "src/workload/CMakeFiles/jaws_workload.dir/job_identifier.cpp.o" "gcc" "src/workload/CMakeFiles/jaws_workload.dir/job_identifier.cpp.o.d"
+  "/root/repo/src/workload/particle_tracker.cpp" "src/workload/CMakeFiles/jaws_workload.dir/particle_tracker.cpp.o" "gcc" "src/workload/CMakeFiles/jaws_workload.dir/particle_tracker.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/jaws_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/jaws_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jaws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/jaws_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jaws_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

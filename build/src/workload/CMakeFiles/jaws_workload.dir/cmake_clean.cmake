@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaws_workload.dir/generator.cpp.o"
+  "CMakeFiles/jaws_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/jaws_workload.dir/job_identifier.cpp.o"
+  "CMakeFiles/jaws_workload.dir/job_identifier.cpp.o.d"
+  "CMakeFiles/jaws_workload.dir/particle_tracker.cpp.o"
+  "CMakeFiles/jaws_workload.dir/particle_tracker.cpp.o.d"
+  "CMakeFiles/jaws_workload.dir/trace.cpp.o"
+  "CMakeFiles/jaws_workload.dir/trace.cpp.o.d"
+  "libjaws_workload.a"
+  "libjaws_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaws_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

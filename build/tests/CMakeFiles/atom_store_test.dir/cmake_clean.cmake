@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_store_test.dir/atom_store_test.cpp.o"
+  "CMakeFiles/atom_store_test.dir/atom_store_test.cpp.o.d"
+  "atom_store_test"
+  "atom_store_test.pdb"
+  "atom_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

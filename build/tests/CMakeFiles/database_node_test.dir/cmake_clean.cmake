@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_node_test.dir/database_node_test.cpp.o"
+  "CMakeFiles/database_node_test.dir/database_node_test.cpp.o.d"
+  "database_node_test"
+  "database_node_test.pdb"
+  "database_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_executor_test.dir/direct_executor_test.cpp.o"
+  "CMakeFiles/direct_executor_test.dir/direct_executor_test.cpp.o.d"
+  "direct_executor_test"
+  "direct_executor_test.pdb"
+  "direct_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_identifier_test.dir/job_identifier_test.cpp.o"
+  "CMakeFiles/job_identifier_test.dir/job_identifier_test.cpp.o.d"
+  "job_identifier_test"
+  "job_identifier_test.pdb"
+  "job_identifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_identifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_tracker_test.dir/particle_tracker_test.cpp.o"
+  "CMakeFiles/particle_tracker_test.dir/particle_tracker_test.cpp.o.d"
+  "particle_tracker_test"
+  "particle_tracker_test.pdb"
+  "particle_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

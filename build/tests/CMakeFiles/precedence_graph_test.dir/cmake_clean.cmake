@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precedence_graph_test.dir/precedence_graph_test.cpp.o"
+  "CMakeFiles/precedence_graph_test.dir/precedence_graph_test.cpp.o.d"
+  "precedence_graph_test"
+  "precedence_graph_test.pdb"
+  "precedence_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precedence_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

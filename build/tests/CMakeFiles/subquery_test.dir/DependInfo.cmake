@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/subquery_test.cpp" "tests/CMakeFiles/subquery_test.dir/subquery_test.cpp.o" "gcc" "tests/CMakeFiles/subquery_test.dir/subquery_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jaws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/jaws_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/jaws_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jaws_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jaws_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/jaws_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jaws_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_gen_test.dir/workload_gen_test.cpp.o"
+  "CMakeFiles/workload_gen_test.dir/workload_gen_test.cpp.o.d"
+  "workload_gen_test"
+  "workload_gen_test.pdb"
+  "workload_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
