@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite, optionally under ASan/UBSan,
+# plus a deterministic fault-sweep smoke run.
+#
+#   scripts/check.sh            # plain RelWithDebInfo build + ctest + smoke
+#   scripts/check.sh --asan     # same, built with address+UB sanitizers
+#   scripts/check.sh --fast     # skip the sanitizer-unfriendly smoke run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset=default
+smoke=1
+for arg in "$@"; do
+    case "$arg" in
+        --asan) preset=asan-ubsan ;;
+        --fast) smoke=0 ;;
+        *) echo "usage: $0 [--asan] [--fast]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== configure ($preset) =="
+cmake --preset "$preset"
+
+echo "== build =="
+cmake --build --preset "$preset" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --preset "$preset" -j "$(nproc)"
+
+if [[ "$smoke" == 1 ]]; then
+    build_dir=build
+    [[ "$preset" == asan-ubsan ]] && build_dir=build-asan
+    echo "== fault sweep smoke (determinism) =="
+    "$build_dir/bench/fault_sweep" 10 > /tmp/jaws_fault_sweep_a.txt
+    "$build_dir/bench/fault_sweep" 10 > /tmp/jaws_fault_sweep_b.txt
+    diff /tmp/jaws_fault_sweep_a.txt /tmp/jaws_fault_sweep_b.txt
+    echo "fault sweep reproducible"
+fi
+
+echo "== all checks passed =="

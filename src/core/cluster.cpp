@@ -2,11 +2,34 @@
 
 #include <algorithm>
 #include <future>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
 
 #include "core/engine.h"
 #include "util/thread_pool.h"
 
 namespace jaws::core {
+
+void ClusterConfig::validate() const {
+    if (nodes == 0)
+        throw std::invalid_argument("ClusterConfig::validate: nodes must be positive");
+    if (replication == 0 || replication > nodes)
+        throw std::invalid_argument(
+            "ClusterConfig::validate: replication must lie in [1, nodes], got " +
+            std::to_string(replication) + " with " + std::to_string(nodes) + " nodes");
+    for (const storage::NodeDownEvent& ev : node.faults.node_down)
+        if (ev.node >= nodes)
+            throw std::invalid_argument(
+                "ClusterConfig::validate: node_down event names node " +
+                std::to_string(ev.node) + " but the cluster has only " +
+                std::to_string(nodes) + " nodes");
+    node.validate();
+}
+
+TurbulenceCluster::TurbulenceCluster(const ClusterConfig& config) : config_(config) {
+    config_.validate();
+}
 
 std::size_t TurbulenceCluster::node_of(std::uint64_t morton, std::uint64_t atoms_per_step,
                                        std::size_t nodes) {
@@ -48,17 +71,63 @@ std::vector<workload::Workload> TurbulenceCluster::partition(
     return parts;
 }
 
+namespace {
+
+/// The portion of `part` that `outcomes` did not complete (a dead node's
+/// unfinished share), with jobs re-sequenced for a replica re-run.
+workload::Workload unfinished_part(const workload::Workload& part,
+                                   const std::vector<QueryOutcome>& outcomes) {
+    std::unordered_set<workload::QueryId> done;
+    done.reserve(outcomes.size());
+    for (const QueryOutcome& o : outcomes) done.insert(o.query);
+    workload::Workload left;
+    for (const workload::Job& job : part.jobs) {
+        workload::Job projected;
+        projected.id = job.id;
+        projected.user = job.user;
+        projected.type = job.type;
+        projected.arrival = job.arrival;
+        for (const workload::Query& q : job.queries) {
+            if (done.contains(q.id)) continue;
+            workload::Query copy = q;
+            copy.seq_in_job = static_cast<std::uint32_t>(projected.queries.size());
+            projected.queries.push_back(std::move(copy));
+        }
+        if (!projected.queries.empty()) left.jobs.push_back(std::move(projected));
+    }
+    return left;
+}
+
+}  // namespace
+
 ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
     const std::vector<workload::Workload> parts = partition(workload);
 
+    // Earliest death per node (cluster-level faults ride in the node
+    // template's FaultSpec; INT64_MAX = the node survives the run).
+    std::vector<util::SimTime> death(config_.nodes, util::SimTime{INT64_MAX});
+    for (const storage::NodeDownEvent& ev : config_.node.faults.node_down)
+        if (ev.at < death[ev.node]) death[ev.node] = ev.at;
+
+    struct NodeRun {
+        RunReport report;
+        workload::Workload leftover;  ///< Unfinished share of a dead node.
+    };
+
     util::ThreadPool pool(std::min<std::size_t>(config_.nodes, 8));
-    std::vector<std::future<RunReport>> futures;
+    std::vector<std::future<NodeRun>> futures;
     futures.reserve(parts.size());
-    for (const auto& part : parts) {
-        futures.push_back(pool.submit([this, &part]() -> RunReport {
-            if (part.jobs.empty()) return RunReport{};
-            Engine engine(config_.node);
-            return engine.run(part);
+    for (std::size_t n = 0; n < parts.size(); ++n) {
+        futures.push_back(pool.submit([this, &parts, &death, n]() -> NodeRun {
+            NodeRun out;
+            const workload::Workload& part = parts[n];
+            if (part.jobs.empty()) return out;
+            EngineConfig cfg = config_.node;
+            cfg.halt_at = death[n];
+            Engine engine(cfg);
+            out.report = engine.run(part);
+            if (out.report.halted) out.leftover = unfinished_part(part, engine.outcomes());
+            return out;
         }));
     }
 
@@ -66,15 +135,75 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
     std::size_t total_parts = 0;
     double weighted_rt = 0.0;
     std::uint64_t hits = 0, misses = 0;
-    for (auto& f : futures) {
-        report.per_node.push_back(f.get());
-        const RunReport& r = report.per_node.back();
-        report.makespan = std::max(report.makespan, r.makespan);
+    const auto accumulate = [&](const RunReport& r) {
         total_parts += r.queries;
         weighted_rt += r.mean_response_ms * static_cast<double>(r.queries);
         hits += r.cache.hits;
         misses += r.cache.misses;
+        report.degraded_queries += r.degraded_queries;
+        report.read_retries += r.read_retries;
+        report.read_failures += r.read_failures;
+    };
+
+    // When a node dies its share finishes on a replica; the replica can only
+    // start the re-run once it has drained its own share, so track each
+    // node's busy-until time (in the shared virtual timeline).
+    std::vector<util::SimTime> busy_until(config_.nodes, util::SimTime::zero());
+    std::vector<workload::Workload> leftovers(config_.nodes);
+    for (std::size_t n = 0; n < futures.size(); ++n) {
+        NodeRun run = futures[n].get();
+        report.makespan = std::max(report.makespan, run.report.makespan);
+        accumulate(run.report);
+        if (!parts[n].jobs.empty())
+            busy_until[n] = parts[n].jobs.front().arrival + run.report.makespan;
+        report.per_node.push_back(std::move(run.report));
+        leftovers[n] = std::move(run.leftover);
     }
+
+    const util::SimTime global_start =
+        workload.jobs.empty() ? util::SimTime::zero() : workload.jobs.front().arrival;
+    for (std::size_t d = 0; d < config_.nodes; ++d) {
+        if (death[d].micros == INT64_MAX) continue;
+        ++report.dead_nodes;
+        const workload::Workload& left = leftovers[d];
+        if (left.jobs.empty()) continue;  // died with nothing outstanding
+
+        // First surviving holder of d's Morton range under chained
+        // declustering: nodes d+1 .. d+replication-1 (mod N).
+        std::size_t replica = config_.nodes;
+        for (std::size_t r = 1; r < config_.replication; ++r) {
+            const std::size_t cand = (d + r) % config_.nodes;
+            if (death[cand].micros == INT64_MAX) {
+                replica = cand;
+                break;
+            }
+        }
+        if (replica == config_.nodes) {
+            // No surviving copy of the range: the work is lost, reported.
+            report.lost_queries += left.total_queries();
+            continue;
+        }
+
+        // The replica picks up the dead node's share once it has both seen
+        // the death and finished its own (and any earlier recovery) work.
+        const util::SimTime recovery_start = std::max(death[d], busy_until[replica]);
+        workload::Workload rerun = left;
+        for (workload::Job& job : rerun.jobs)
+            job.arrival = std::max(job.arrival, recovery_start);
+        report.requeued_queries += rerun.total_queries();
+
+        Engine engine(config_.node);
+        RunReport rec = engine.run(rerun);
+        ++report.failovers;
+        accumulate(rec);
+        const util::SimTime rec_end = rerun.jobs.front().arrival + rec.makespan;
+        busy_until[replica] = rec_end;
+        // Degraded makespan: the recovery tail extends the cluster span,
+        // measured from the workload's first arrival.
+        report.makespan = std::max(report.makespan, rec_end - global_start);
+        report.recovery.push_back(std::move(rec));
+    }
+
     const double seconds = std::max(1e-9, report.makespan.seconds());
     report.total_throughput_qps = static_cast<double>(total_parts) / seconds;
     report.mean_response_ms =

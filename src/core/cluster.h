@@ -8,6 +8,16 @@
 // every node it touches, and the per-node engines run in parallel on a
 // thread pool. Reported cluster throughput uses the slowest node's virtual
 // makespan — the cluster is done when its last node is.
+//
+// Fault tolerance: Morton ranges may be replicated k ways (range owned by
+// node n is also stored on nodes n+1 .. n+k-1 mod N, the classic chained
+// declustering layout). When FaultSpec::node_down kills a node mid-run, the
+// queries it had not completed by its death are re-projected onto the first
+// surviving replica of its range and re-run there after that replica
+// finishes its own share; ClusterReport::makespan then reports the degraded
+// end-to-end span. With replication 1 the dead node's unfinished queries
+// are *lost* (reported, never silently dropped) — exactly the trade-off a
+// production deployment makes.
 #pragma once
 
 #include <cstdint>
@@ -23,21 +33,43 @@ namespace jaws::core {
 struct ClusterConfig {
     EngineConfig node;       ///< Per-node stack configuration.
     std::size_t nodes = 4;   ///< Number of database nodes.
+    /// Copies of each Morton range (1 = no redundancy). Range owned by node
+    /// n is also readable on nodes n+1 .. n+replication-1 (mod nodes).
+    std::size_t replication = 1;
+
+    /// Reject nonsensical cluster configurations (zero nodes, replication
+    /// outside [1, nodes], node-down events naming nonexistent nodes) with
+    /// a descriptive std::invalid_argument; also validates the node config.
+    void validate() const;
 };
 
 /// Aggregated cluster results.
 struct ClusterReport {
     std::vector<RunReport> per_node;      ///< One report per node (may be empty runs).
-    util::SimTime makespan;               ///< Slowest node's virtual makespan.
+    /// Recovery runs executed on replicas after node deaths (one per
+    /// failover, in node-death order). Their work is included in the
+    /// aggregate figures below.
+    std::vector<RunReport> recovery;
+    util::SimTime makespan;               ///< Slowest node's virtual makespan
+                                          ///< (including failover re-runs).
     double total_throughput_qps = 0.0;    ///< Total query parts / makespan.
     double mean_response_ms = 0.0;        ///< Query-part weighted mean response.
     double cache_hit_rate = 0.0;          ///< Aggregate over all nodes.
+
+    // --- fault & recovery accounting ---
+    std::size_t dead_nodes = 0;       ///< Nodes killed by node-down events.
+    std::size_t failovers = 0;        ///< Deaths whose work a replica re-ran.
+    std::size_t requeued_queries = 0; ///< Query parts re-projected onto replicas.
+    std::size_t lost_queries = 0;     ///< Parts lost for lack of a surviving replica.
+    std::uint64_t degraded_queries = 0;  ///< Sum of per-node degraded completions.
+    std::uint64_t read_retries = 0;      ///< Sum over nodes and recovery runs.
+    std::uint64_t read_failures = 0;     ///< Sum over nodes and recovery runs.
 };
 
 /// Spatially partitioned multi-node deployment.
 class TurbulenceCluster {
   public:
-    explicit TurbulenceCluster(const ClusterConfig& config) : config_(config) {}
+    explicit TurbulenceCluster(const ClusterConfig& config);
 
     /// Node owning the atom with Morton code `morton` under `atoms_per_step`
     /// atoms per time step split into `nodes` contiguous Morton ranges.
@@ -49,7 +81,8 @@ class TurbulenceCluster {
     /// node are dropped and the job re-sequenced). Exposed for tests.
     std::vector<workload::Workload> partition(const workload::Workload& workload) const;
 
-    /// Partition, run every node engine in parallel, aggregate.
+    /// Partition, run every node engine in parallel, handle node deaths by
+    /// re-running unfinished work on surviving replicas, aggregate.
     ClusterReport run(const workload::Workload& workload) const;
 
   private:

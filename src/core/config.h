@@ -43,6 +43,19 @@ struct SchedulerSpec {
     sched::JawsConfig jaws;       ///< Parameters for kJaws.
 };
 
+/// Recovery policy for injected transient read errors: failed demand reads
+/// retry with bounded exponential backoff, every delay charged to the
+/// virtual clock (so QoS deadline math sees the real degraded timeline).
+/// An atom whose demand read exhausts all attempts marks the affected
+/// sub-queries failed; their queries complete *degraded* instead of
+/// crashing the run.
+struct RetrySpec {
+    std::size_t max_attempts = 4;     ///< Total read attempts per demand miss.
+    double backoff_base_ms = 5.0;     ///< Virtual delay before the first retry.
+    double backoff_multiplier = 2.0;  ///< Growth factor per further retry.
+    double backoff_cap_ms = 1000.0;   ///< Upper bound on any single delay.
+};
+
 /// Full per-node configuration.
 struct EngineConfig {
     field::GridSpec grid;
@@ -72,6 +85,24 @@ struct EngineConfig {
     /// two-level framework amortises it over k atoms, NoShare over a whole
     /// query.
     double dispatch_overhead_ms = 5.0;
+
+    /// Deterministic fault injection (default: fault-free; zero-cost when
+    /// disabled). Node-down events inside are consumed by TurbulenceCluster.
+    storage::FaultSpec faults;
+
+    /// Retry/backoff policy for transiently failed demand reads.
+    RetrySpec retry;
+
+    /// Virtual time at which this node dies mid-run (INT64_MAX = never).
+    /// Set by TurbulenceCluster from FaultSpec::node_down; a halted run
+    /// reports partial completion instead of throwing.
+    util::SimTime halt_at{INT64_MAX};
+
+    /// Reject nonsensical configurations (zero-sized grid or cache,
+    /// atom_side not dividing voxels_per_side, negative costs, out-of-range
+    /// probabilities) with a descriptive std::invalid_argument. Called at
+    /// Engine construction.
+    void validate() const;
 };
 
 }  // namespace jaws::core

@@ -15,10 +15,19 @@
 
 namespace jaws::core {
 
+namespace {
+/// Reject invalid configs before any member (notably the AtomStore, whose
+/// layout math assumes a well-formed grid) is constructed from them.
+const EngineConfig& validated(const EngineConfig& config) {
+    config.validate();
+    return config;
+}
+}  // namespace
+
 Engine::Engine(const EngineConfig& config)
-    : config_(config),
+    : config_(validated(config)),
       store_(storage::AtomStoreSpec{config.grid, config.field, config.disk,
-                                    config.materialize_data}),
+                                    config.materialize_data, config.faults}),
       db_(config.grid, config.compute) {
     config_.estimates.atoms_per_step = config_.grid.atoms_per_step();
     cache_ = std::make_unique<cache::BufferCache>(config.cache.capacity_atoms, make_policy());
@@ -132,6 +141,8 @@ void Engine::complete_query(QueryRuntime& rt) {
     outcome.job = rt.query->job;
     outcome.visible = rt.visible_at;
     outcome.completed = now;
+    outcome.failed_subqueries = rt.failed;
+    if (rt.failed > 0) ++degraded_queries_;
     outcomes_.push_back(outcome);
     ++completed_;
 
@@ -175,19 +186,46 @@ void Engine::complete_query(QueryRuntime& rt) {
     }
 }
 
-bool Engine::ensure_resident(const storage::AtomId& atom) {
+Engine::ReadStatus Engine::ensure_resident(const storage::AtomId& atom) {
     if (prefetcher_ != nullptr) prefetcher_->on_demand_access(atom);
-    if (cache_->lookup(atom)) return false;
-    storage::ReadResult rr = store_.read(atom);
-    clock_.advance(rr.io_cost);
-    ++atom_reads_;
-    const auto evicted = cache_->insert(atom, std::move(rr.data));
-    scheduler_->on_residency_changed(atom);
-    if (evicted) {
-        scheduler_->on_residency_changed(*evicted);
-        if (prefetcher_ != nullptr) prefetcher_->on_evicted(*evicted);
+    if (cache_->lookup(atom)) return ReadStatus::kCached;
+    double backoff_ms = config_.retry.backoff_base_ms;
+    for (std::size_t attempt = 1;; ++attempt) {
+        storage::ReadResult rr = store_.read(atom);
+        clock_.advance(rr.io_cost);
+        if (!rr.failed) {
+            ++atom_reads_;
+            const auto evicted = cache_->insert(atom, std::move(rr.data));
+            scheduler_->on_residency_changed(atom);
+            if (evicted) {
+                scheduler_->on_residency_changed(*evicted);
+                if (prefetcher_ != nullptr) prefetcher_->on_evicted(*evicted);
+            }
+            return ReadStatus::kLoaded;
+        }
+        if (rr.permanent || attempt >= config_.retry.max_attempts) break;
+        // Transient fault: back off exponentially (bounded) before retrying.
+        // The delay is charged to the virtual clock, so response times and
+        // QoS deadline checks see the true degraded timeline.
+        const auto backoff =
+            util::SimTime::from_millis(std::min(backoff_ms, config_.retry.backoff_cap_ms));
+        backoff_ms *= config_.retry.backoff_multiplier;
+        clock_.advance(backoff);
+        retry_backoff_time_ += backoff;
+        ++read_retries_;
     }
-    return true;
+    ++read_failures_;
+    return ReadStatus::kFailed;
+}
+
+void Engine::fail_subqueries(const std::vector<sched::SubQuery>& subs) {
+    for (const sched::SubQuery& sub : subs) {
+        QueryRuntime& rt = runtime_.at(sub.query);
+        ++rt.failed;
+        ++failed_subqueries_;
+        assert(rt.outstanding > 0);
+        if (--rt.outstanding == 0) complete_query(rt);
+    }
 }
 
 void Engine::run_prefetches(util::SimTime until) {
@@ -205,6 +243,9 @@ void Engine::run_prefetches(util::SimTime until) {
         if (cache_->contains(atom) || !store_.contains(atom)) continue;
         storage::ReadResult rr = store_.read(atom);
         clock_.advance(rr.io_cost);
+        // Speculative reads are best-effort: a faulted attempt is simply
+        // dropped (no retries — demand reads will recover if it matters).
+        if (rr.failed) continue;
         ++atom_reads_;
         const auto evicted = cache_->insert(atom, std::move(rr.data));
         scheduler_->on_residency_changed(atom);
@@ -223,7 +264,16 @@ bool Engine::execute_one_batch() {
     clock_.advance(util::SimTime::from_millis(config_.dispatch_overhead_ms));
     for (const sched::BatchItem& item : batch) {
         ++atoms_processed_;
-        ensure_resident(item.atom);
+        if (ensure_resident(item.atom) == ReadStatus::kFailed) {
+            // The atom's data is unreachable: abandon this batch item's
+            // sub-queries (their queries complete degraded). A permanently
+            // bad atom also purges whatever later-visible queries queued
+            // against it, so the scheduler never chases a dead atom forever.
+            fail_subqueries(item.subqueries);
+            if (store_.faults().permanently_bad(item.atom))
+                fail_subqueries(scheduler_->purge_atom(item.atom));
+            continue;
+        }
         // Kernel supports: neighbour atoms the sub-queries draw interpolation
         // samples from. A cache-resident support costs nothing — and because
         // supports point at Morton-earlier neighbours, a Morton-ordered batch
@@ -290,6 +340,12 @@ RunReport Engine::run(const workload::Workload& workload) {
         timeline_next_ = start + util::SimTime::from_seconds(config_.timeline_window_s);
 
     while (completed_ < total) {
+        // Node death (cluster failover): stop dead at the configured virtual
+        // time; the cluster re-projects the unfinished work onto replicas.
+        if (clock_.now() >= config_.halt_at) {
+            halted_ = true;
+            break;
+        }
         // Admit everything due at the current virtual time.
         while (next_job < workload.jobs.size() &&
                workload.jobs[next_job].arrival <= clock_.now()) {
@@ -307,11 +363,13 @@ RunReport Engine::run(const workload::Workload& workload) {
             continue;
         }
 
-        // Idle: jump to the next event.
+        // Idle: jump to the next event (never past a scheduled node death —
+        // a dead node must not prefetch through its own halt).
         util::SimTime next{INT64_MAX};
         if (next_job < workload.jobs.size())
             next = std::min(next, workload.jobs[next_job].arrival);
         if (!visibility_.empty()) next = std::min(next, visibility_.top().at);
+        next = std::min(next, config_.halt_at);
         if (next.micros != INT64_MAX) {
             // The disk is idle until the next arrival/visibility event: spend
             // the gap on speculative trajectory reads (Sec. VII).
@@ -335,7 +393,8 @@ RunReport Engine::run(const workload::Workload& workload) {
     report.makespan = clock_.now() - start;
     const double seconds = std::max(1e-9, report.makespan.seconds());
     report.throughput_qps = static_cast<double>(completed_) / seconds;
-    report.seconds_per_query = seconds / static_cast<double>(completed_);
+    report.seconds_per_query =
+        completed_ ? seconds / static_cast<double>(completed_) : 0.0;
     report.idle_time = idle_time_;
     const double busy_seconds = std::max(1e-9, seconds - idle_time_.seconds());
     report.busy_throughput_qps = static_cast<double>(completed_) / busy_seconds;
@@ -352,6 +411,13 @@ RunReport Engine::run(const workload::Workload& workload) {
     report.support_reads = support_reads_;
     report.subqueries = subqueries_done_;
     report.positions = positions_done_;
+    report.read_retries = read_retries_;
+    report.read_failures = read_failures_;
+    report.failed_subqueries = failed_subqueries_;
+    report.degraded_queries = degraded_queries_;
+    report.retry_backoff_time = retry_backoff_time_;
+    report.faults = store_.fault_stats();
+    report.halted = halted_;
     report.final_alpha = scheduler_->current_alpha();
     if (const sched::GatingStats* gs = scheduler_->gating_stats()) report.gating = *gs;
     if (const sched::QosStats* qs = scheduler_->qos_stats()) report.qos = *qs;

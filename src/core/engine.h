@@ -71,6 +71,7 @@ class Engine {
         const workload::Query* query = nullptr;
         const workload::Job* job = nullptr;
         std::size_t outstanding = 0;  ///< Sub-queries not yet executed.
+        std::uint64_t failed = 0;     ///< Sub-queries abandoned on dead atoms.
         bool visible = false;
         util::SimTime visible_at;
     };
@@ -84,14 +85,26 @@ class Engine {
         }
     };
 
+    /// How a demand read of an atom ended.
+    enum class ReadStatus {
+        kCached,  ///< Already resident; no disk request issued.
+        kLoaded,  ///< Read from disk (possibly after transient-fault retries).
+        kFailed,  ///< Retries exhausted or permanently bad: no data exists.
+    };
+
     std::unique_ptr<cache::ReplacementPolicy> make_policy();
     std::unique_ptr<sched::Scheduler> make_scheduler();
     void submit_job(const workload::Job& job);
     void make_visible(workload::QueryId id);
-    /// Read `atom` into the cache if absent; returns true if a disk read
-    /// happened. Propagates residency changes to the scheduler (and the
-    /// prefetcher's accuracy accounting when enabled).
-    bool ensure_resident(const storage::AtomId& atom);
+    /// Read `atom` into the cache if absent, retrying transiently failed
+    /// reads with bounded exponential backoff charged to the virtual clock.
+    /// Propagates residency changes to the scheduler (and the prefetcher's
+    /// accuracy accounting when enabled).
+    ReadStatus ensure_resident(const storage::AtomId& atom);
+    /// Abandon sub-queries whose atom is unreadable: their owning queries
+    /// lose those positions and complete *degraded* when nothing else is
+    /// outstanding.
+    void fail_subqueries(const std::vector<sched::SubQuery>& subs);
     bool execute_one_batch();
     void complete_query(QueryRuntime& runtime);
     /// Perform speculative reads from the prediction queue while they fit
@@ -128,6 +141,12 @@ class Engine {
     std::size_t completed_ = 0;
     std::uint64_t atoms_processed_ = 0;
     std::uint64_t atom_reads_ = 0;
+    std::uint64_t read_retries_ = 0;
+    std::uint64_t read_failures_ = 0;
+    std::uint64_t failed_subqueries_ = 0;
+    std::uint64_t degraded_queries_ = 0;
+    util::SimTime retry_backoff_time_;
+    bool halted_ = false;
     std::uint64_t support_reads_ = 0;
     std::vector<std::uint64_t> support_scratch_;
     std::uint64_t subqueries_done_ = 0;

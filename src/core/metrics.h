@@ -14,6 +14,7 @@
 #include "sched/prefetcher.h"
 #include "sched/qos.h"
 #include "storage/disk_model.h"
+#include "storage/fault_injector.h"
 #include "util/sim_time.h"
 #include "workload/query.h"
 
@@ -25,8 +26,13 @@ struct QueryOutcome {
     workload::JobId job = workload::kNoJob;
     util::SimTime visible;    ///< When its inputs were ready.
     util::SimTime completed;  ///< When the last sub-query finished.
+    /// Sub-queries whose atom never became readable (retries exhausted or a
+    /// permanently bad range); > 0 means the query completed *degraded*:
+    /// it returned partial results instead of crashing the run.
+    std::uint64_t failed_subqueries = 0;
 
     util::SimTime response() const noexcept { return completed - visible; }
+    bool degraded() const noexcept { return failed_subqueries > 0; }
 };
 
 /// One sample of the run's time series (fixed virtual-time windows).
@@ -77,6 +83,17 @@ struct RunReport {
     std::uint64_t support_reads = 0;    ///< Disk reads for kernel-support atoms.
     std::uint64_t subqueries = 0;
     std::uint64_t positions = 0;
+
+    // --- fault injection & recovery (all zero on a fault-free substrate) ---
+    std::uint64_t read_retries = 0;      ///< Re-issued demand reads after a fault.
+    std::uint64_t read_failures = 0;     ///< Demand reads that exhausted recovery.
+    std::uint64_t failed_subqueries = 0; ///< Sub-queries abandoned on dead atoms.
+    std::uint64_t degraded_queries = 0;  ///< Queries completed with partial results.
+    util::SimTime retry_backoff_time;    ///< Virtual time spent backing off.
+    storage::FaultStats faults;          ///< What the injector actually fired.
+    /// True when the run was cut short by a node-death event (halt_at):
+    /// the report covers only the work finished before the halt.
+    bool halted = false;
 
     double final_alpha = 0.0;
     sched::GatingStats gating;

@@ -43,6 +43,9 @@ class JawsScheduler final : public Scheduler {
     void on_query_completed(workload::QueryId query, util::SimTime response,
                             util::SimTime now) override;
     void on_residency_changed(const storage::AtomId& atom) override;
+    std::vector<SubQuery> purge_atom(const storage::AtomId& atom) override {
+        return manager_.drain_atom(atom);
+    }
     std::vector<BatchItem> next_batch(util::SimTime now) override;
     bool has_pending() const override { return !manager_.empty(); }
     std::size_t pending_count() const override { return manager_.pending_subqueries(); }

@@ -23,6 +23,9 @@ class LifeRaftScheduler final : public Scheduler {
     std::string name() const override;
     void on_query_visible(const workload::Query& query, util::SimTime now) override;
     void on_residency_changed(const storage::AtomId& atom) override;
+    std::vector<SubQuery> purge_atom(const storage::AtomId& atom) override {
+        return manager_.drain_atom(atom);
+    }
     std::vector<BatchItem> next_batch(util::SimTime now) override;
     bool has_pending() const override { return !manager_.empty(); }
     std::size_t pending_count() const override { return manager_.pending_subqueries(); }

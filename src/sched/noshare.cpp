@@ -3,18 +3,17 @@
 namespace jaws::sched {
 
 void NoShareScheduler::on_query_visible(const workload::Query& query, util::SimTime now) {
-    fifo_.push_back(Pending{&query, now});
+    fifo_.push_back(preprocess(query, now));
 }
 
 std::vector<BatchItem> NoShareScheduler::next_batch(util::SimTime now) {
     (void)now;
     std::vector<BatchItem> batch;
     if (fifo_.empty()) return batch;
-    const Pending next = fifo_.front();
+    const std::vector<SubQuery> next = std::move(fifo_.front());
     fifo_.pop_front();
-    batch.reserve(next.query->footprint.size());
-    for (const SubQuery& sub : preprocess(*next.query, next.visible))
-        batch.push_back(BatchItem{sub.atom, {sub}});
+    batch.reserve(next.size());
+    for (const SubQuery& sub : next) batch.push_back(BatchItem{sub.atom, {sub}});
     return batch;
 }
 

@@ -23,16 +23,14 @@ class NoShareScheduler final : public Scheduler {
     bool has_pending() const override { return !fifo_.empty(); }
     std::size_t pending_count() const override {
         std::size_t n = 0;
-        for (const Pending& p : fifo_) n += p.query->footprint.size();
+        for (const auto& subqueries : fifo_) n += subqueries.size();
         return n;
     }
 
   private:
-    struct Pending {
-        const workload::Query* query;
-        util::SimTime visible;
-    };
-    std::deque<Pending> fifo_;
+    // Each entry is one visible query's sub-queries, preprocessed eagerly so
+    // no reference to the caller's Query outlives on_query_visible.
+    std::deque<std::vector<SubQuery>> fifo_;
 };
 
 }  // namespace jaws::sched

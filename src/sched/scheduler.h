@@ -54,6 +54,15 @@ class Scheduler {
     /// An atom entered or left the buffer cache (phi(i) flipped).
     virtual void on_residency_changed(const storage::AtomId& atom) { (void)atom; }
 
+    /// `atom` became permanently unreadable (bad range / retries exhausted):
+    /// remove and return any sub-queries still queued against it so the
+    /// engine can fail them instead of re-dispatching a dead atom forever.
+    /// Default: nothing queued per atom, nothing to purge.
+    virtual std::vector<SubQuery> purge_atom(const storage::AtomId& atom) {
+        (void)atom;
+        return {};
+    }
+
     /// Next batch of atoms to evaluate, in execution order; empty when no
     /// work is currently schedulable.
     virtual std::vector<BatchItem> next_batch(util::SimTime now) = 0;

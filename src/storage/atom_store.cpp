@@ -15,7 +15,8 @@ AtomStore::AtomStore(const AtomStoreSpec& spec)
           d.capacity_bytes =
               std::max<std::uint64_t>(1, spec.grid.total_atoms() * spec.grid.atom_bytes());
           return d;
-      }()) {
+      }()),
+      faults_(spec.faults) {
     // Lay atoms out in clustered key order: each time step's atoms are
     // contiguous and Morton-sorted, mirroring the production layout that
     // makes Morton-ordered batches near-sequential on disk.
@@ -46,6 +47,20 @@ ReadResult AtomStore::read(const AtomId& id) {
     if (!extent) throw std::out_of_range("AtomStore::read: atom outside dataset");
     ReadResult result;
     result.io_cost = disk_.read(extent->offset, extent->length);
+    if (faults_.enabled()) {
+        const FaultOutcome fault = faults_.on_read(id);
+        if (fault.failed) {
+            // The disk still moved its head and spent the service time; the
+            // request just returned no usable data.
+            result.failed = true;
+            result.permanent = fault.permanent;
+            return result;
+        }
+        if (fault.extra_latency.micros > 0) {
+            disk_.charge_delay(fault.extra_latency);
+            result.io_cost += fault.extra_latency;
+        }
+    }
     if (spec_.materialize_data) {
         result.data = std::make_shared<field::VoxelBlock>(
             spec_.grid, field_, util::morton_decode(id.morton), id.timestep);

@@ -17,6 +17,7 @@
 #include "storage/atom.h"
 #include "storage/bptree.h"
 #include "storage/disk_model.h"
+#include "storage/fault_injector.h"
 
 namespace jaws::storage {
 
@@ -24,6 +25,8 @@ namespace jaws::storage {
 struct ReadResult {
     util::SimTime io_cost;  ///< Virtual time the disk spent on this read.
     std::shared_ptr<const field::VoxelBlock> data;  ///< Payload; null when not materialising.
+    bool failed = false;     ///< Injected fault: no data was returned.
+    bool permanent = false;  ///< Retrying can never succeed (bad Morton range).
 };
 
 /// Configuration of an AtomStore.
@@ -32,6 +35,7 @@ struct AtomStoreSpec {
     field::FieldSpec field;      ///< Synthetic-field parameters.
     DiskSpec disk;               ///< Disk model parameters.
     bool materialize_data = false;  ///< Synthesize voxel payloads on read.
+    FaultSpec faults;            ///< Deterministic fault injection (default: none).
 };
 
 /// One node's atom storage: clustered B+ tree over a simulated disk, with
@@ -42,7 +46,10 @@ class AtomStore {
 
     /// Read one atom: looks up the extent in the B+ tree, charges the disk,
     /// and synthesises the payload if materialisation is enabled. Throws
-    /// std::out_of_range for an atom outside the dataset.
+    /// std::out_of_range for an atom outside the dataset. When fault
+    /// injection is configured the attempt may come back `failed` (the disk
+    /// time is still charged — the head moved) or carry straggler latency
+    /// already folded into `io_cost`.
     ReadResult read(const AtomId& id);
 
     /// Whether `id` denotes an atom of this dataset.
@@ -58,12 +65,17 @@ class AtomStore {
     void reset_stats() noexcept { disk_.reset_stats(); }
     /// The underlying index (exposed for tests and micro-benches).
     const BPlusTree& index() const noexcept { return index_; }
+    /// Injected-fault accounting (all zero when no faults are configured).
+    const FaultStats& fault_stats() const noexcept { return faults_.stats(); }
+    /// The fault source (tests and the engine's permanent-failure handling).
+    const FaultInjector& faults() const noexcept { return faults_; }
 
   private:
     AtomStoreSpec spec_;
     field::SyntheticField field_;
     BPlusTree index_;
     DiskModel disk_;
+    FaultInjector faults_;
 };
 
 }  // namespace jaws::storage

@@ -36,6 +36,7 @@ struct DiskStats {
     std::uint64_t sequential_requests = 0;  ///< Requests starting where the head was.
     std::uint64_t bytes_read = 0;
     util::SimTime busy_time;  ///< Total virtual time spent servicing requests.
+    util::SimTime fault_delay;  ///< Injected straggler time (part of busy_time).
 };
 
 /// Single-head disk with positional state. Not thread-safe; each database
@@ -50,6 +51,13 @@ class DiskModel {
 
     /// Cost the same read would incur, without performing it.
     util::SimTime peek_cost(std::uint64_t offset, std::uint64_t bytes) const;
+
+    /// Account injected extra service time (fault-injector latency spikes)
+    /// against this disk's busy-time statistics.
+    void charge_delay(util::SimTime extra) noexcept {
+        stats_.busy_time += extra;
+        stats_.fault_delay += extra;
+    }
 
     /// Lifetime request statistics.
     const DiskStats& stats() const noexcept { return stats_; }

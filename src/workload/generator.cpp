@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/morton.h"
@@ -304,7 +306,9 @@ Workload generate_workload(const WorkloadSpec& spec, const field::GridSpec& grid
 }
 
 void apply_speedup(Workload& workload, double speedup) {
-    assert(speedup > 0.0);
+    if (!(speedup > 0.0))
+        throw std::invalid_argument("apply_speedup: speedup must be positive, got " +
+                                    std::to_string(speedup));
     if (workload.jobs.empty()) return;
     util::SimTime prev_orig = workload.jobs.front().arrival;
     util::SimTime prev_new = workload.jobs.front().arrival;

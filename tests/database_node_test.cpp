@@ -49,7 +49,8 @@ class DatabaseNodeWithData : public ::testing::Test {
         : store_(AtomStoreSpec{small_grid(),
                                field::FieldSpec{.seed = 70, .modes = 6, .max_wavenumber = 3.0},
                                DiskSpec{},
-                               /*materialize_data=*/true}),
+                               /*materialize_data=*/true,
+                               FaultSpec{}}),
           node_(small_grid(), CostModel{}) {}
 
     AtomStore store_;

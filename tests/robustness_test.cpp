@@ -1,7 +1,9 @@
 // Robustness / edge-case tests across the stack: degenerate configurations,
-// boundary datasets, and hostile-but-legal inputs must not crash or violate
-// invariants.
+// boundary datasets, hostile-but-legal inputs, and injected storage/node
+// faults must not crash or violate invariants.
 #include <gtest/gtest.h>
+
+#include <stdexcept>
 
 #include "core/cluster.h"
 #include "core/engine.h"
@@ -169,6 +171,307 @@ TEST(Robustness, AllSchedulersHandleMaterializedData) {
         core::Engine engine(config);
         ASSERT_EQ(engine.run(w).queries, 6u);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Config validation (satellite: reject degenerate configs at construction).
+// ---------------------------------------------------------------------------
+
+TEST(ConfigValidation, RejectsDegenerateEngineConfigs) {
+    {
+        core::EngineConfig c = tiny_config();
+        c.cache.capacity_atoms = 0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.grid.atom_side = 24;  // does not divide 64
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.grid.atom_side = 0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.grid.timesteps = 0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.estimates.t_b_ms = -1.0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.disk.transfer_mb_per_s = 0.0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.scheduler.jaws.batch_size_k = 0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.faults.transient_error_rate = 1.5;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.retry.max_attempts = 0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+}
+
+TEST(ConfigValidation, RejectsDegenerateClusterConfigs) {
+    {
+        core::ClusterConfig c;
+        c.node = tiny_config();
+        c.nodes = 0;
+        EXPECT_THROW(core::TurbulenceCluster{c}, std::invalid_argument);
+    }
+    {
+        core::ClusterConfig c;
+        c.node = tiny_config();
+        c.nodes = 2;
+        c.replication = 3;  // more copies than nodes
+        EXPECT_THROW(core::TurbulenceCluster{c}, std::invalid_argument);
+    }
+    {
+        core::ClusterConfig c;
+        c.node = tiny_config();
+        c.nodes = 2;
+        c.node.faults.node_down.push_back(
+            storage::NodeDownEvent{5, util::SimTime::from_seconds(1)});
+        EXPECT_THROW(core::TurbulenceCluster{c}, std::invalid_argument);
+    }
+    {
+        core::ClusterConfig c;
+        c.node = tiny_config();
+        c.node.cache.capacity_atoms = 0;  // node template is validated too
+        EXPECT_THROW(core::TurbulenceCluster{c}, std::invalid_argument);
+    }
+}
+
+TEST(ConfigValidation, ApplySpeedupRejectsNonPositiveFactors) {
+    workload::Workload w;
+    w.jobs.push_back(single_query_job(1, 0));
+    EXPECT_THROW(workload::apply_speedup(w, 0.0), std::invalid_argument);
+    EXPECT_THROW(workload::apply_speedup(w, -2.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection and recovery.
+// ---------------------------------------------------------------------------
+
+TEST(FaultRecovery, CertainTransientErrorsStillTerminate) {
+    // Every read attempt fails: all retries exhaust, every query completes
+    // degraded (partial results), and the run terminates instead of spinning.
+    for (const core::SchedulerKind kind :
+         {core::SchedulerKind::kNoShare, core::SchedulerKind::kLifeRaft,
+          core::SchedulerKind::kJaws}) {
+        core::EngineConfig config = tiny_config();
+        config.scheduler.kind = kind;
+        config.faults.transient_error_rate = 1.0;
+        workload::Workload w;
+        for (workload::QueryId i = 1; i <= 12; ++i)
+            w.jobs.push_back(single_query_job(i, i % 8, i % 2));
+        core::Engine engine(config);
+        const core::RunReport report = engine.run(w);
+        ASSERT_EQ(report.queries, 12u);
+        EXPECT_EQ(report.degraded_queries, 12u);
+        EXPECT_GT(report.read_failures, 0u);
+        EXPECT_GT(report.read_retries, 0u);
+        EXPECT_GT(report.retry_backoff_time.micros, 0);
+        EXPECT_EQ(report.atom_reads, 0u);  // nothing ever made it to the cache
+    }
+}
+
+TEST(FaultRecovery, ModerateErrorRateRecoversThroughRetries) {
+    core::EngineConfig config = tiny_config();
+    config.scheduler.kind = core::SchedulerKind::kJaws;
+    config.faults.transient_error_rate = 0.3;
+    workload::Workload w;
+    for (workload::QueryId i = 1; i <= 40; ++i)
+        w.jobs.push_back(single_query_job(i, i % 8, i % 2));
+    core::Engine engine(config);
+    const core::RunReport report = engine.run(w);
+    ASSERT_EQ(report.queries, 40u);
+    EXPECT_GT(report.read_retries, 0u);
+    EXPECT_GT(report.faults.transient_faults, 0u);
+    // With 4 attempts at 30 % error, per-read failure ~ 0.8 %: most queries
+    // must survive undegraded.
+    EXPECT_LT(report.degraded_queries, 10u);
+}
+
+TEST(FaultRecovery, PermanentBadRangeFailsFastWithoutRetries) {
+    core::EngineConfig config = tiny_config();
+    config.scheduler.kind = core::SchedulerKind::kJaws;
+    config.faults.bad_ranges.push_back(storage::BadRange{3, 3});
+    workload::Workload w;
+    w.jobs.push_back(single_query_job(1, 3));  // on the bad atom
+    w.jobs.push_back(single_query_job(2, 5));  // healthy
+    core::Engine engine(config);
+    const core::RunReport report = engine.run(w);
+    ASSERT_EQ(report.queries, 2u);
+    EXPECT_EQ(report.degraded_queries, 1u);
+    EXPECT_EQ(report.read_failures, 1u);
+    EXPECT_EQ(report.read_retries, 0u);  // permanent faults skip backoff
+    EXPECT_EQ(report.faults.permanent_faults, 1u);
+    for (const core::QueryOutcome& o : engine.outcomes())
+        EXPECT_EQ(o.degraded(), o.query == 1u);
+}
+
+TEST(FaultRecovery, StragglerDiskWithPrefetchDoesNotDeadlock) {
+    core::EngineConfig config = tiny_config();
+    config.scheduler.kind = core::SchedulerKind::kJaws;
+    config.prefetch.enabled = true;
+    config.faults.latency_spike_rate = 0.5;
+    config.faults.latency_spike_mean_ms = 200.0;
+    config.faults.transient_error_rate = 0.2;
+    workload::WorkloadSpec spec;
+    spec.jobs = 15;
+    const field::SyntheticField field(config.field);
+    const workload::Workload w = workload::generate_workload(spec, config.grid, field);
+    core::Engine engine(config);
+    const core::RunReport report = engine.run(w);
+    EXPECT_EQ(report.queries, w.total_queries());
+    EXPECT_GT(report.faults.latency_spikes, 0u);
+    EXPECT_GT(report.disk.fault_delay.micros, 0);
+}
+
+TEST(FaultRecovery, IdenticalSeedsGiveBitIdenticalRuns) {
+    const auto run_once = [] {
+        core::EngineConfig config = tiny_config();
+        config.scheduler.kind = core::SchedulerKind::kJaws;
+        config.faults.seed = 1234;
+        config.faults.transient_error_rate = 0.25;
+        config.faults.latency_spike_rate = 0.25;
+        config.faults.latency_spike_mean_ms = 80.0;
+        workload::WorkloadSpec spec;
+        spec.jobs = 12;
+        const field::SyntheticField field(config.field);
+        const workload::Workload w = workload::generate_workload(spec, config.grid, field);
+        core::Engine engine(config);
+        return engine.run(w);
+    };
+    const core::RunReport a = run_once();
+    const core::RunReport b = run_once();
+    EXPECT_EQ(a.makespan.micros, b.makespan.micros);
+    EXPECT_EQ(a.read_retries, b.read_retries);
+    EXPECT_EQ(a.read_failures, b.read_failures);
+    EXPECT_EQ(a.degraded_queries, b.degraded_queries);
+    EXPECT_EQ(a.retry_backoff_time.micros, b.retry_backoff_time.micros);
+    EXPECT_EQ(a.faults.transient_faults, b.faults.transient_faults);
+    EXPECT_EQ(a.faults.latency_spikes, b.faults.latency_spikes);
+    EXPECT_EQ(a.faults.spike_delay.micros, b.faults.spike_delay.micros);
+}
+
+TEST(FaultRecovery, ZeroedFaultSpecReportsNoFaultActivity) {
+    core::EngineConfig config = tiny_config();
+    workload::Workload w;
+    for (workload::QueryId i = 1; i <= 10; ++i) w.jobs.push_back(single_query_job(i, i % 8));
+    core::Engine engine(config);
+    const core::RunReport report = engine.run(w);
+    EXPECT_EQ(report.queries, 10u);
+    EXPECT_EQ(report.read_retries, 0u);
+    EXPECT_EQ(report.read_failures, 0u);
+    EXPECT_EQ(report.degraded_queries, 0u);
+    EXPECT_EQ(report.retry_backoff_time.micros, 0);
+    EXPECT_EQ(report.faults.transient_faults, 0u);
+    EXPECT_EQ(report.faults.latency_spikes, 0u);
+    EXPECT_EQ(report.disk.fault_delay.micros, 0);
+    EXPECT_FALSE(report.halted);
+}
+
+// ---------------------------------------------------------------------------
+// Node death and cluster failover.
+// ---------------------------------------------------------------------------
+
+namespace {
+workload::Workload cluster_workload(std::size_t queries) {
+    workload::Workload w;
+    for (workload::QueryId i = 1; i <= queries; ++i) {
+        workload::Job job = single_query_job(i, i % 8, i % 2);
+        // Spread arrivals so a mid-run death leaves genuinely unfinished work.
+        job.arrival = util::SimTime::from_millis(static_cast<double>(i) * 40.0);
+        job.queries.front().think_time = util::SimTime::zero();
+        w.jobs.push_back(std::move(job));
+    }
+    return w;
+}
+
+std::size_t completed_parts(const core::ClusterReport& report) {
+    std::size_t total = 0;
+    for (const auto& r : report.per_node) total += r.queries;
+    for (const auto& r : report.recovery) total += r.queries;
+    return total;
+}
+}  // namespace
+
+TEST(Failover, NodeDeathWithoutReplicationLosesOnlyThatNodesTail) {
+    core::ClusterConfig config;
+    config.node = tiny_config();
+    config.nodes = 2;
+    config.replication = 1;
+    config.node.faults.node_down.push_back(
+        storage::NodeDownEvent{0, util::SimTime::from_millis(1.0)});
+    const workload::Workload w = cluster_workload(24);
+    core::TurbulenceCluster cluster(config);
+    const core::ClusterReport report = cluster.run(w);
+    EXPECT_EQ(report.dead_nodes, 1u);
+    EXPECT_EQ(report.failovers, 0u);
+    EXPECT_GT(report.lost_queries, 0u);
+    // Lost + completed covers every projected query part; nothing vanishes
+    // silently.
+    EXPECT_EQ(completed_parts(report) + report.lost_queries,
+              static_cast<std::size_t>(24));
+}
+
+TEST(Failover, NodeDeathWithReplicationCompletesEverything) {
+    core::ClusterConfig config;
+    config.node = tiny_config();
+    config.nodes = 2;
+    config.replication = 2;
+    config.node.faults.node_down.push_back(
+        storage::NodeDownEvent{0, util::SimTime::from_millis(1.0)});
+    const workload::Workload w = cluster_workload(24);
+    core::TurbulenceCluster cluster(config);
+    const core::ClusterReport report = cluster.run(w);
+    EXPECT_EQ(report.dead_nodes, 1u);
+    EXPECT_GE(report.failovers, 1u);
+    EXPECT_EQ(report.lost_queries, 0u);
+    EXPECT_GT(report.requeued_queries, 0u);
+    EXPECT_EQ(completed_parts(report), static_cast<std::size_t>(24));
+    EXPECT_GT(report.makespan.micros, 0);
+}
+
+TEST(Failover, DeathAfterCompletionRequiresNoRecovery) {
+    core::ClusterConfig config;
+    config.node = tiny_config();
+    config.nodes = 2;
+    config.replication = 2;
+    config.node.faults.node_down.push_back(
+        storage::NodeDownEvent{0, util::SimTime::from_seconds(1e6)});
+    const workload::Workload w = cluster_workload(10);
+    core::TurbulenceCluster cluster(config);
+    const core::ClusterReport report = cluster.run(w);
+    EXPECT_EQ(report.dead_nodes, 1u);
+    EXPECT_EQ(report.failovers, 0u);
+    EXPECT_EQ(report.lost_queries, 0u);
+    EXPECT_EQ(completed_parts(report), static_cast<std::size_t>(10));
+}
+
+TEST(Failover, HaltedEngineReportsPartialCompletion) {
+    core::EngineConfig config = tiny_config();
+    config.halt_at = util::SimTime::from_millis(1.0);
+    const workload::Workload w = cluster_workload(12);
+    core::Engine engine(config);
+    const core::RunReport report = engine.run(w);
+    EXPECT_TRUE(report.halted);
+    EXPECT_LT(report.queries, 12u);
 }
 
 }  // namespace
