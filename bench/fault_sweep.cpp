@@ -17,17 +17,21 @@
 namespace {
 
 void print_fault_header() {
-    std::printf("%-10s %10s %12s %10s %10s %10s %12s\n", "rate", "tp(q/s)", "rt_mean(ms)",
-                "retries", "failures", "degraded", "backoff(s)");
+    // service(s) is rendered disk work; fault(s) is injector-added delay —
+    // the two are disjoint, so their drift apart is the fault tax itself.
+    std::printf("%-10s %10s %12s %10s %10s %10s %12s %11s %10s\n", "rate", "tp(q/s)",
+                "rt_mean(ms)", "retries", "failures", "degraded", "backoff(s)",
+                "service(s)", "fault(s)");
 }
 
 void print_fault_row(double rate, const jaws::core::RunReport& r) {
-    std::printf("%-10.2f %10.3f %12.1f %10llu %10llu %10llu %12.2f\n", rate,
+    std::printf("%-10.2f %10.3f %12.1f %10llu %10llu %10llu %12.2f %11.1f %10.1f\n", rate,
                 r.busy_throughput_qps, r.mean_response_ms,
                 static_cast<unsigned long long>(r.read_retries),
                 static_cast<unsigned long long>(r.read_failures),
                 static_cast<unsigned long long>(r.degraded_queries),
-                r.retry_backoff_time.seconds());
+                r.retry_backoff_time.seconds(), r.disk.service_time.seconds(),
+                r.disk.fault_delay.seconds());
     std::fflush(stdout);
 }
 

@@ -135,11 +135,15 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
     std::size_t total_parts = 0;
     double weighted_rt = 0.0;
     std::uint64_t hits = 0, misses = 0;
+    double run_seconds = 0.0, weighted_disk_util = 0.0, weighted_cpu_util = 0.0;
     const auto accumulate = [&](const RunReport& r) {
         total_parts += r.queries;
         weighted_rt += r.mean_response_ms * static_cast<double>(r.queries);
         hits += r.cache.hits;
         misses += r.cache.misses;
+        run_seconds += r.makespan.seconds();
+        weighted_disk_util += r.disk_utilization * r.makespan.seconds();
+        weighted_cpu_util += r.cpu_utilization * r.makespan.seconds();
         report.degraded_queries += r.degraded_queries;
         report.read_retries += r.read_retries;
         report.read_failures += r.read_failures;
@@ -210,6 +214,10 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
         total_parts ? weighted_rt / static_cast<double>(total_parts) : 0.0;
     report.cache_hit_rate =
         (hits + misses) ? static_cast<double>(hits) / static_cast<double>(hits + misses) : 0.0;
+    if (run_seconds > 0.0) {
+        report.mean_disk_utilization = weighted_disk_util / run_seconds;
+        report.mean_cpu_utilization = weighted_cpu_util / run_seconds;
+    }
     return report;
 }
 

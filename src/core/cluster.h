@@ -55,6 +55,8 @@ struct ClusterReport {
     double total_throughput_qps = 0.0;    ///< Total query parts / makespan.
     double mean_response_ms = 0.0;        ///< Query-part weighted mean response.
     double cache_hit_rate = 0.0;          ///< Aggregate over all nodes.
+    double mean_disk_utilization = 0.0;   ///< Makespan-weighted mean over runs.
+    double mean_cpu_utilization = 0.0;    ///< Makespan-weighted mean over runs.
 
     // --- fault & recovery accounting ---
     std::size_t dead_nodes = 0;       ///< Nodes killed by node-down events.

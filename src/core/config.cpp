@@ -36,6 +36,13 @@ void EngineConfig::validate() const {
         fail("cache.capacity_atoms must be positive (a node cannot run without "
              "buffer memory)");
 
+    if (io_depth == 0)
+        fail("io_depth must be at least 1 (one disk service channel)");
+    if (compute_workers == 0)
+        fail("compute_workers must be at least 1 (one evaluation server)");
+    if (io_depth > 1024 || compute_workers > 1024)
+        fail("io_depth/compute_workers above 1024 is outside the model's regime");
+
     require_non_negative(disk.settle_ms, "disk.settle_ms");
     require_non_negative(disk.seek_full_stroke_ms, "disk.seek_full_stroke_ms");
     if (!(disk.transfer_mb_per_s > 0.0))

@@ -61,6 +61,18 @@ struct EngineConfig {
     field::GridSpec grid;
     field::FieldSpec field;
     storage::DiskSpec disk;
+
+    /// Concurrent disk service channels (the RAID stripe set's command
+    /// parallelism). The event kernel pipelines up to `io_depth` batch items
+    /// through the disk at once, so demand reads overlap batch evaluation and
+    /// each other. 1 reproduces the historical strictly-serial engine
+    /// bit-for-bit (read, then evaluate, then next read).
+    std::size_t io_depth = 1;
+
+    /// Parallel batch-evaluation workers (modeled CPU pool). Sub-query
+    /// evaluation of distinct batch items proceeds concurrently on up to this
+    /// many servers. 1 reproduces the historical serial semantics.
+    std::size_t compute_workers = 1;
     storage::CostModel compute;        ///< Actual per-position cost charged (T_m).
     sched::CostConstants estimates;    ///< T_b/T_m estimates used by Eq. 1.
     CacheSpec cache;

@@ -10,6 +10,7 @@ namespace jaws::core {
 
 DirectExecutor::DirectExecutor(const EngineConfig& config)
     : store_(storage::AtomStoreSpec{config.grid, config.field, config.disk,
+                                    /*io_channels=*/1,
                                     /*materialize_data=*/true, config.faults}),
       cache_(config.cache.capacity_atoms, std::make_unique<cache::LruPolicy>()),
       db_(config.grid, config.compute) {}

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -27,14 +28,24 @@ const EngineConfig& validated(const EngineConfig& config) {
 Engine::Engine(const EngineConfig& config)
     : config_(validated(config)),
       store_(storage::AtomStoreSpec{config.grid, config.field, config.disk,
-                                    config.materialize_data, config.faults}),
-      db_(config.grid, config.compute) {
+                                    config.io_depth, config.materialize_data,
+                                    config.faults}),
+      db_(config.grid, config.compute),
+      disk_res_(events_, config.io_depth, kPriService),
+      cpu_res_(events_, config.compute_workers, kPriService) {
     config_.estimates.atoms_per_step = config_.grid.atoms_per_step();
     cache_ = std::make_unique<cache::BufferCache>(config.cache.capacity_atoms, make_policy());
     scheduler_ = make_scheduler();
-    if (config_.prefetch.enabled)
+    if (config_.prefetch.enabled) {
         prefetcher_ = std::make_unique<sched::TrajectoryPrefetcher>(
             config_.prefetch, config_.grid.atoms_per_side());
+        prefetch_read_.resize(config_.io_depth);
+    }
+    disk_res_.set_observer([this] { account_tick(); });
+    cpu_res_.set_observer([this] { account_tick(); });
+    // A disk channel going idle with no demand read waiting is the window for
+    // speculative trajectory reads (Sec. VII as *background* I/O).
+    disk_res_.set_idle_hook([this] { try_issue_prefetch(); });
 }
 
 std::unique_ptr<cache::ReplacementPolicy> Engine::make_policy() {
@@ -77,6 +88,21 @@ std::unique_ptr<sched::Scheduler> Engine::make_scheduler() {
     throw std::invalid_argument("unknown scheduler kind");
 }
 
+// --------------------------------------------------------------------------
+// Admission
+// --------------------------------------------------------------------------
+
+void Engine::push_visibility(util::SimTime at, workload::QueryId id) {
+    visibility_.push(VisibilityEvent{at, id});
+    // Future events need a kernel wake-up; already-due ones are drained by the
+    // admission pass of the dispatch event that is (or will be) scheduled for
+    // this instant.
+    if (at > events_.now())
+        events_.schedule(at, kPriVisibility, [this] {
+            if (!halted_ && batch_ == nullptr) ensure_dispatch();
+        });
+}
+
 void Engine::submit_job(const workload::Job& job) {
     scheduler_->on_job_submitted(job);
     job_remaining_[job.id] = job.queries.size();
@@ -93,10 +119,10 @@ void Engine::submit_job(const workload::Job& job) {
     }
     if (job.type == workload::JobType::kOrdered) {
         // Only the head is visible; successors appear as predecessors finish.
-        visibility_.push(VisibilityEvent{job.arrival, job.queries.front().id});
+        push_visibility(job.arrival, job.queries.front().id);
     } else {
         for (const auto& q : job.queries)
-            visibility_.push(VisibilityEvent{job.arrival + q.think_time, q.id});
+            push_visibility(job.arrival + q.think_time, q.id);
     }
 }
 
@@ -104,37 +130,277 @@ void Engine::make_visible(workload::QueryId id) {
     QueryRuntime& rt = runtime_.at(id);
     assert(!rt.visible);
     rt.visible = true;
-    rt.visible_at = clock_.now();
-    scheduler_->on_query_visible(*rt.query, clock_.now());
+    rt.visible_at = events_.now();
+    scheduler_->on_query_visible(*rt.query, events_.now());
 }
 
-void Engine::timeline_tick(util::SimTime now, double response_ms) {
-    if (config_.timeline_window_s <= 0.0) return;
-    const auto window = util::SimTime::from_seconds(config_.timeline_window_s);
-    while (now >= timeline_next_) {
-        TimelinePoint point;
-        point.window_end = timeline_next_;
-        point.completions = window_completions_;
-        point.mean_response_ms =
-            window_completions_
-                ? window_response_ms_sum_ / static_cast<double>(window_completions_)
-                : 0.0;
-        point.alpha = scheduler_->current_alpha();
-        point.backlog_subqueries = scheduler_->pending_count();
-        point.cache_hit_rate = cache_->stats().hit_rate();
-        timeline_.push_back(point);
-        window_completions_ = 0;
-        window_response_ms_sum_ = 0.0;
-        timeline_next_ += window;
+void Engine::admit_due() {
+    // Arrivals first (their submission may push visibility events that are
+    // themselves already due), then visibility events ordered by (at, id) —
+    // the pre-kernel engine's exact admission order.
+    for (const workload::Job* job : due_jobs_) submit_job(*job);
+    due_jobs_.clear();
+    while (!visibility_.empty() && visibility_.top().at <= events_.now()) {
+        const workload::QueryId id = visibility_.top().query;
+        visibility_.pop();
+        make_visible(id);
     }
-    if (response_ms >= 0.0) {
-        ++window_completions_;
-        window_response_ms_sum_ += response_ms;
+}
+
+void Engine::ensure_dispatch() {
+    if (dispatch_pending_ || halted_) return;
+    dispatch_pending_ = true;
+    events_.schedule(events_.now(), kPriDispatch, [this] {
+        dispatch_pending_ = false;
+        on_dispatch();
+    });
+}
+
+void Engine::on_dispatch() {
+    if (halted_ || batch_ != nullptr) return;
+    admit_due();
+    if (scheduler_->has_pending()) {
+        std::vector<sched::BatchItem> items = scheduler_->next_batch(events_.now());
+        if (!items.empty()) {
+            start_batch(std::move(items));
+            return;
+        }
+    }
+    // Going idle until the next arrival/visibility wake-up: spend the gap on
+    // speculative trajectory reads.
+    try_issue_prefetch();
+}
+
+// --------------------------------------------------------------------------
+// Batch pipeline
+// --------------------------------------------------------------------------
+
+void Engine::start_batch(std::vector<sched::BatchItem> items) {
+    account_tick();
+    batch_ = std::make_unique<ActiveBatch>();
+    batch_->items.reserve(items.size());
+    for (sched::BatchItem& item : items) {
+        ItemRun run;
+        run.item = std::move(item);
+        batch_->items.push_back(std::move(run));
+    }
+    // One scheduler->database dispatch round trip per batch, then the
+    // pipeline starts issuing items.
+    events_.schedule(
+        events_.now() + util::SimTime::from_millis(config_.dispatch_overhead_ms),
+        kPriService, [this] { issue_more(); });
+}
+
+void Engine::issue_more() {
+    while (batch_ != nullptr && batch_->next_issue < batch_->items.size() &&
+           batch_->in_flight < config_.io_depth) {
+        const std::size_t idx = batch_->next_issue++;
+        ++batch_->in_flight;
+        issue_item(idx);
+    }
+}
+
+void Engine::issue_item(std::size_t idx) {
+    ItemRun& it = batch_->items[idx];
+    ++atoms_processed_;
+    if (prefetcher_ != nullptr) prefetcher_->on_demand_access(it.item.atom);
+    if (cache_->lookup(it.item.atom)) {
+        proceed_supports(idx);
+        return;
+    }
+    it.attempt = 1;
+    it.backoff_ms = config_.retry.backoff_base_ms;
+    submit_demand_read(idx);
+}
+
+void Engine::submit_demand_read(std::size_t idx) {
+    util::SimResource::Job job;
+    job.priority = 0;
+    job.preemptible = false;
+    job.on_start = [this, idx](std::size_t channel) {
+        ItemRun& it = batch_->items[idx];
+        it.read = store_.read(it.item.atom, channel);
+        return it.read.io_cost;
+    };
+    job.on_complete = [this, idx](std::size_t) { demand_read_done(idx); };
+    disk_res_.submit(std::move(job));
+}
+
+void Engine::demand_read_done(std::size_t idx) {
+    ItemRun& it = batch_->items[idx];
+    if (!it.read.failed) {
+        ++atom_reads_;
+        insert_into_cache(it.item.atom, std::move(it.read.data));
+        proceed_supports(idx);
+        return;
+    }
+    if (!it.read.permanent && it.attempt < config_.retry.max_attempts) {
+        // Transient fault: back off exponentially (bounded) before retrying.
+        // The channel is released during the backoff — other in-flight items
+        // keep the disk busy — and the delay shows up in response times, so
+        // QoS deadline checks see the true degraded timeline.
+        const auto backoff = util::SimTime::from_millis(
+            std::min(it.backoff_ms, config_.retry.backoff_cap_ms));
+        it.backoff_ms *= config_.retry.backoff_multiplier;
+        retry_backoff_time_ += backoff;
+        ++read_retries_;
+        ++it.attempt;
+        events_.schedule(events_.now() + backoff, kPriService,
+                         [this, idx] { submit_demand_read(idx); });
+        return;
+    }
+    // The atom's data is unreachable: abandon this batch item's sub-queries
+    // (their queries complete degraded). A permanently bad atom also purges
+    // whatever later-visible queries queued against it, so the scheduler
+    // never chases a dead atom forever.
+    ++read_failures_;
+    fail_subqueries(it.item.subqueries);
+    if (store_.faults().permanently_bad(it.item.atom))
+        fail_subqueries(scheduler_->purge_atom(it.item.atom));
+    item_finished(idx);
+}
+
+void Engine::proceed_supports(std::size_t idx) {
+    // Kernel supports: neighbour atoms the sub-queries draw interpolation
+    // samples from. A cache-resident support costs nothing — and because
+    // supports point at Morton-earlier neighbours, a Morton-ordered batch
+    // has just read them (the locality of reference the two-level framework
+    // exploits, paper Sec. V). A cold support costs a partial ghost read that
+    // is *not* cached, so single-atom contention chasing pays it again on
+    // later passes ("may access the same atom multiple times on different
+    // passes"). The cold reads of one item are charged as a single disk job.
+    ItemRun& it = batch_->items[idx];
+    support_scratch_.clear();
+    for (const sched::SubQuery& sub : it.item.subqueries)
+        for (const std::uint64_t code : sub.supports)
+            if (code != it.item.atom.morton) support_scratch_.push_back(code);
+    std::sort(support_scratch_.begin(), support_scratch_.end());
+    support_scratch_.erase(
+        std::unique(support_scratch_.begin(), support_scratch_.end()),
+        support_scratch_.end());
+    std::int64_t cold = 0;
+    for (const std::uint64_t code : support_scratch_) {
+        const storage::AtomId support{it.item.atom.timestep, code};
+        if (prefetcher_ != nullptr) prefetcher_->on_demand_access(support);
+        if (cache_->lookup(support)) continue;  // ghost served from memory
+        ++support_reads_;
+        ++cold;
+    }
+    if (cold == 0) {
+        begin_compute(idx);
+        return;
+    }
+    // Per-read cost converted to micros *before* multiplying, so the total
+    // matches the pre-kernel engine's per-support clock advances exactly.
+    const auto per_read = util::SimTime::from_millis(config_.support_read_fraction *
+                                                     config_.estimates.t_b_ms);
+    const util::SimTime duration{per_read.micros * cold};
+    util::SimResource::Job job;
+    job.priority = 0;
+    job.preemptible = false;
+    job.on_start = [duration](std::size_t) { return duration; };
+    job.on_complete = [this, idx](std::size_t) { begin_compute(idx); };
+    disk_res_.submit(std::move(job));
+}
+
+void Engine::begin_compute(std::size_t idx) {
+    ItemRun& it = batch_->items[idx];
+    it.payload = cache_->payload(it.item.atom);
+    it.next_sub = 0;
+    if (it.item.subqueries.empty()) {
+        item_finished(idx);
+        return;
+    }
+    submit_compute(idx);
+}
+
+void Engine::submit_compute(std::size_t idx) {
+    util::SimResource::Job job;
+    job.priority = 0;
+    job.preemptible = false;
+    job.on_start = [this, idx](std::size_t) {
+        ItemRun& it = batch_->items[idx];
+        const sched::SubQuery& sub = it.item.subqueries[it.next_sub];
+        const QueryRuntime& rt = runtime_.at(sub.query);
+        storage::SubQueryExec exec;
+        exec.atom = it.item.atom;
+        exec.position_count = sub.positions;
+        exec.order = rt.query->order;
+        exec.kind = rt.query->kind;
+        if (it.payload != nullptr && !rt.query->positions.empty()) {
+            // Examples run with real data: evaluate the positions of this
+            // query that fall inside this atom.
+            for (const auto& p : rt.query->positions)
+                if (config_.grid.atom_morton_of(p) == it.item.atom.morton)
+                    exec.positions.push_back(p);
+        }
+        const storage::ExecOutcome out = db_.execute(exec, it.payload.get());
+        return out.compute_cost;
+    };
+    job.on_complete = [this, idx](std::size_t) { compute_done(idx); };
+    cpu_res_.submit(std::move(job));
+}
+
+void Engine::compute_done(std::size_t idx) {
+    ItemRun& it = batch_->items[idx];
+    const sched::SubQuery& sub = it.item.subqueries[it.next_sub];
+    ++subqueries_done_;
+    positions_done_ += sub.positions;
+    QueryRuntime& rt = runtime_.at(sub.query);
+    assert(rt.outstanding > 0);
+    if (--rt.outstanding == 0) complete_query(rt);
+    if (++it.next_sub < it.item.subqueries.size())
+        submit_compute(idx);
+    else
+        item_finished(idx);
+}
+
+void Engine::item_finished(std::size_t idx) {
+    (void)idx;
+    --batch_->in_flight;
+    ++batch_->finished;
+    if (batch_->finished == batch_->items.size()) {
+        end_batch();
+        return;
+    }
+    issue_more();
+}
+
+void Engine::end_batch() {
+    account_tick();
+    batch_.reset();
+    // Re-admit and re-dispatch at this instant — unless the node died
+    // mid-batch, in which case the batch was allowed to finish but nothing
+    // new starts.
+    if (!halted_) ensure_dispatch();
+}
+
+// --------------------------------------------------------------------------
+// Completion bookkeeping
+// --------------------------------------------------------------------------
+
+void Engine::insert_into_cache(const storage::AtomId& atom,
+                               std::shared_ptr<const field::VoxelBlock> data) {
+    const auto evicted = cache_->insert(atom, std::move(data));
+    scheduler_->on_residency_changed(atom);
+    if (evicted) {
+        scheduler_->on_residency_changed(*evicted);
+        if (prefetcher_ != nullptr) prefetcher_->on_evicted(*evicted);
+    }
+}
+
+void Engine::fail_subqueries(const std::vector<sched::SubQuery>& subs) {
+    for (const sched::SubQuery& sub : subs) {
+        QueryRuntime& rt = runtime_.at(sub.query);
+        ++rt.failed;
+        ++failed_subqueries_;
+        assert(rt.outstanding > 0);
+        if (--rt.outstanding == 0) complete_query(rt);
     }
 }
 
 void Engine::complete_query(QueryRuntime& rt) {
-    const util::SimTime now = clock_.now();
+    const util::SimTime now = events_.now();
     timeline_tick(now, (now - rt.visible_at).millis());
     QueryOutcome outcome;
     outcome.query = rt.query->id;
@@ -155,7 +421,7 @@ void Engine::complete_query(QueryRuntime& rt) {
     if (job.type == workload::JobType::kOrdered &&
         rt.query->seq_in_job + 1 < job.queries.size()) {
         const workload::Query& next = job.queries[rt.query->seq_in_job + 1];
-        visibility_.push(VisibilityEvent{now + next.think_time, next.id});
+        push_visibility(now + next.think_time, next.id);
         // Trajectory prefetching (Sec. VII): learn the job's motion and queue
         // speculative reads for the atoms its next query is predicted to hit.
         if (prefetcher_ != nullptr) {
@@ -164,12 +430,17 @@ void Engine::complete_query(QueryRuntime& rt) {
             for (const storage::AtomId& atom : prefetcher_->predict(job.id))
                 prefetch_queue_.push_back(atom);
             // Stale predictions (whose target query already ran) are worse
-            // than none: keep only the newest few batches' worth.
-            const std::size_t cap = 8 * prefetcher_->config().max_atoms_per_batch;
+            // than none. Background issuance drains the queue far faster than
+            // the old idle-gap prefetcher did, so keep only the newest
+            // batch's worth: everything older would issue as cache-churning
+            // speculation for queries that have already moved on.
+            const std::size_t cap = prefetcher_->config().max_atoms_per_batch;
             if (prefetch_queue_.size() > cap)
                 prefetch_queue_.erase(prefetch_queue_.begin(),
                                       prefetch_queue_.end() -
                                           static_cast<std::ptrdiff_t>(cap));
+            // Fresh predictions may be issuable right now on an idle channel.
+            try_issue_prefetch();
         }
     } else if (prefetcher_ != nullptr && job.type == workload::JobType::kOrdered) {
         prefetcher_->forget(job.id);
@@ -186,145 +457,118 @@ void Engine::complete_query(QueryRuntime& rt) {
     }
 }
 
-Engine::ReadStatus Engine::ensure_resident(const storage::AtomId& atom) {
-    if (prefetcher_ != nullptr) prefetcher_->on_demand_access(atom);
-    if (cache_->lookup(atom)) return ReadStatus::kCached;
-    double backoff_ms = config_.retry.backoff_base_ms;
-    for (std::size_t attempt = 1;; ++attempt) {
-        storage::ReadResult rr = store_.read(atom);
-        clock_.advance(rr.io_cost);
-        if (!rr.failed) {
-            ++atom_reads_;
-            const auto evicted = cache_->insert(atom, std::move(rr.data));
-            scheduler_->on_residency_changed(atom);
-            if (evicted) {
-                scheduler_->on_residency_changed(*evicted);
-                if (prefetcher_ != nullptr) prefetcher_->on_evicted(*evicted);
-            }
-            return ReadStatus::kLoaded;
-        }
-        if (rr.permanent || attempt >= config_.retry.max_attempts) break;
-        // Transient fault: back off exponentially (bounded) before retrying.
-        // The delay is charged to the virtual clock, so response times and
-        // QoS deadline checks see the true degraded timeline.
-        const auto backoff =
-            util::SimTime::from_millis(std::min(backoff_ms, config_.retry.backoff_cap_ms));
-        backoff_ms *= config_.retry.backoff_multiplier;
-        clock_.advance(backoff);
-        retry_backoff_time_ += backoff;
-        ++read_retries_;
-    }
-    ++read_failures_;
-    return ReadStatus::kFailed;
-}
+// --------------------------------------------------------------------------
+// Background prefetch
+// --------------------------------------------------------------------------
 
-void Engine::fail_subqueries(const std::vector<sched::SubQuery>& subs) {
-    for (const sched::SubQuery& sub : subs) {
-        QueryRuntime& rt = runtime_.at(sub.query);
-        ++rt.failed;
-        ++failed_subqueries_;
-        assert(rt.outstanding > 0);
-        if (--rt.outstanding == 0) complete_query(rt);
-    }
-}
-
-void Engine::run_prefetches(util::SimTime until) {
-    // Speculative reads run only while the disk would otherwise sit idle
-    // ("this can also help mask the cost of random reads" — Sec. VII): each
-    // read must fit before the next demand event.
-    if (prefetcher_ == nullptr || prefetch_queue_.empty()) return;
-    const auto est = util::SimTime::from_millis(config_.estimates.t_b_ms);
-    std::size_t issued = 0;
-    while (!prefetch_queue_.empty() &&
-           issued < prefetcher_->config().max_atoms_per_batch &&
-           clock_.now() + est <= until) {
+void Engine::try_issue_prefetch() {
+    // Speculative reads are true background I/O: they run on any disk channel
+    // that would otherwise sit idle ("this can also help mask the cost of
+    // random reads" — Sec. VII) and a later demand read preempts them
+    // mid-service, so they can never delay demand work.
+    if (prefetcher_ == nullptr || halted_) return;
+    while (!prefetch_queue_.empty() && disk_res_.has_free_channel() &&
+           disk_res_.queued() == 0) {
         const storage::AtomId atom = prefetch_queue_.back();
         prefetch_queue_.pop_back();
         if (cache_->contains(atom) || !store_.contains(atom)) continue;
-        storage::ReadResult rr = store_.read(atom);
-        clock_.advance(rr.io_cost);
-        // Speculative reads are best-effort: a faulted attempt is simply
-        // dropped (no retries — demand reads will recover if it matters).
-        if (rr.failed) continue;
-        ++atom_reads_;
-        const auto evicted = cache_->insert(atom, std::move(rr.data));
-        scheduler_->on_residency_changed(atom);
-        if (evicted) {
-            scheduler_->on_residency_changed(*evicted);
-            prefetcher_->on_evicted(*evicted);
-        }
-        prefetcher_->on_prefetched(atom);
-        ++issued;
+        util::SimResource::Job job;
+        job.priority = 1;  // behind any demand read
+        job.preemptible = true;
+        job.on_start = [this, atom](std::size_t channel) {
+            prefetch_read_[channel] = store_.read(atom, channel);
+            return prefetch_read_[channel].io_cost;
+        };
+        job.on_complete = [this, atom](std::size_t channel) {
+            storage::ReadResult rr = std::move(prefetch_read_[channel]);
+            // Best-effort: a faulted attempt is simply dropped (no retries —
+            // demand reads will recover if it matters).
+            if (rr.failed) return;
+            ++atom_reads_;
+            insert_into_cache(atom, std::move(rr.data));
+            prefetcher_->on_prefetched(atom);
+        };
+        job.on_abort = [this, atom](std::size_t, util::SimTime remaining) {
+            // The read()'s full cost was charged when service started; give
+            // back the tail the channel never actually rendered.
+            store_.disk().cancel_tail(remaining);
+            ++prefetch_aborted_;
+            prefetcher_->on_aborted(atom);
+        };
+        disk_res_.submit(std::move(job));
     }
 }
 
-bool Engine::execute_one_batch() {
-    const std::vector<sched::BatchItem> batch = scheduler_->next_batch(clock_.now());
-    if (batch.empty()) return false;
-    clock_.advance(util::SimTime::from_millis(config_.dispatch_overhead_ms));
-    for (const sched::BatchItem& item : batch) {
-        ++atoms_processed_;
-        if (ensure_resident(item.atom) == ReadStatus::kFailed) {
-            // The atom's data is unreachable: abandon this batch item's
-            // sub-queries (their queries complete degraded). A permanently
-            // bad atom also purges whatever later-visible queries queued
-            // against it, so the scheduler never chases a dead atom forever.
-            fail_subqueries(item.subqueries);
-            if (store_.faults().permanently_bad(item.atom))
-                fail_subqueries(scheduler_->purge_atom(item.atom));
-            continue;
-        }
-        // Kernel supports: neighbour atoms the sub-queries draw interpolation
-        // samples from. A cache-resident support costs nothing — and because
-        // supports point at Morton-earlier neighbours, a Morton-ordered batch
-        // has just read them (the locality of reference the two-level
-        // framework exploits, paper Sec. V). A cold support costs a partial
-        // ghost read that is *not* cached, so single-atom contention chasing
-        // pays it again on later passes ("may access the same atom multiple
-        // times on different passes").
-        support_scratch_.clear();
-        for (const sched::SubQuery& sub : item.subqueries)
-            for (const std::uint64_t code : sub.supports)
-                if (code != item.atom.morton) support_scratch_.push_back(code);
-        std::sort(support_scratch_.begin(), support_scratch_.end());
-        support_scratch_.erase(
-            std::unique(support_scratch_.begin(), support_scratch_.end()),
-            support_scratch_.end());
-        for (const std::uint64_t code : support_scratch_) {
-            const storage::AtomId support{item.atom.timestep, code};
-            if (prefetcher_ != nullptr) prefetcher_->on_demand_access(support);
-            if (cache_->lookup(support)) continue;  // ghost served from memory
-            ++support_reads_;
-            clock_.advance(util::SimTime::from_millis(config_.support_read_fraction *
-                                                      config_.estimates.t_b_ms));
-        }
-        const auto payload = cache_->payload(item.atom);
+// --------------------------------------------------------------------------
+// Accounting
+// --------------------------------------------------------------------------
 
-        for (const sched::SubQuery& sub : item.subqueries) {
-            QueryRuntime& rt = runtime_.at(sub.query);
-            storage::SubQueryExec exec;
-            exec.atom = item.atom;
-            exec.position_count = sub.positions;
-            exec.order = rt.query->order;
-            exec.kind = rt.query->kind;
-            if (payload != nullptr && !rt.query->positions.empty()) {
-                // Examples run with real data: evaluate the positions of this
-                // query that fall inside this atom.
-                for (const auto& p : rt.query->positions)
-                    if (config_.grid.atom_morton_of(p) == item.atom.morton)
-                        exec.positions.push_back(p);
-            }
-            const storage::ExecOutcome out = db_.execute(exec, payload.get());
-            clock_.advance(out.compute_cost);
-            ++subqueries_done_;
-            positions_done_ += sub.positions;
-
-            assert(rt.outstanding > 0);
-            if (--rt.outstanding == 0) complete_query(rt);
-        }
-    }
-    return true;
+void Engine::account_tick() {
+    const util::SimTime now = events_.now();
+    const util::SimTime dt = now - last_account_;
+    if (dt.micros <= 0) return;
+    last_account_ = now;
+    const bool disk_busy = disk_res_.busy_channels() > 0;
+    const bool cpu_busy = cpu_res_.busy_channels() > 0;
+    if (disk_busy) disk_busy_time_ += dt;
+    if (cpu_busy) cpu_busy_time_ += dt;
+    if (disk_busy && cpu_busy) overlap_time_ += dt;
+    // "Idle" reproduces the pre-kernel engine's jumped-gap accounting: time
+    // with no batch active and both resources quiet (dispatch overhead and
+    // retry backoff inside a batch are busy time, not idle).
+    if (!disk_busy && !cpu_busy && batch_ == nullptr) idle_time_ += dt;
 }
+
+void Engine::flush_timeline_window(util::SimTime window_end, double window_seconds) {
+    TimelinePoint point;
+    point.window_end = window_end;
+    point.completions = window_completions_;
+    point.mean_response_ms =
+        window_completions_
+            ? window_response_ms_sum_ / static_cast<double>(window_completions_)
+            : 0.0;
+    point.alpha = scheduler_->current_alpha();
+    point.backlog_subqueries = scheduler_->pending_count();
+    point.cache_hit_rate = cache_->stats().hit_rate();
+    // Utilisation over the span since the previous flush (windows are flushed
+    // lazily at completion times, so a long quiet stretch settles its whole
+    // span on the first window flushed after it).
+    const util::SimTime disk_ct = disk_res_.busy_channel_time();
+    const util::SimTime cpu_ct = cpu_res_.busy_channel_time();
+    if (window_seconds > 0.0) {
+        point.disk_utilization = (disk_ct - tl_disk_channel_time_).seconds() /
+                                 (window_seconds * static_cast<double>(config_.io_depth));
+        point.cpu_utilization =
+            (cpu_ct - tl_cpu_channel_time_).seconds() /
+            (window_seconds * static_cast<double>(config_.compute_workers));
+        point.overlap_fraction =
+            (overlap_time_ - tl_overlap_time_).seconds() / window_seconds;
+    }
+    tl_disk_channel_time_ = disk_ct;
+    tl_cpu_channel_time_ = cpu_ct;
+    tl_overlap_time_ = overlap_time_;
+    timeline_.push_back(point);
+    window_completions_ = 0;
+    window_response_ms_sum_ = 0.0;
+}
+
+void Engine::timeline_tick(util::SimTime now, double response_ms) {
+    if (config_.timeline_window_s <= 0.0) return;
+    const auto window = util::SimTime::from_seconds(config_.timeline_window_s);
+    if (now >= timeline_next_) account_tick();  // bring integrals current
+    while (now >= timeline_next_) {
+        flush_timeline_window(timeline_next_, config_.timeline_window_s);
+        timeline_next_ += window;
+    }
+    if (response_ms >= 0.0) {
+        ++window_completions_;
+        window_response_ms_sum_ += response_ms;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Drive loop
+// --------------------------------------------------------------------------
 
 RunReport Engine::run(const workload::Workload& workload) {
     if (ran_) throw std::logic_error("Engine::run: engine instances are single-shot");
@@ -332,65 +576,43 @@ RunReport Engine::run(const workload::Workload& workload) {
 
     const std::size_t total = workload.total_queries();
     outcomes_.reserve(total);
-    std::size_t next_job = 0;
     const util::SimTime start =
         workload.jobs.empty() ? util::SimTime::zero() : workload.jobs.front().arrival;
-    clock_.advance_to(start);
+    events_.reset_to(start);
+    last_account_ = start;
     if (config_.timeline_window_s > 0.0)
         timeline_next_ = start + util::SimTime::from_seconds(config_.timeline_window_s);
 
+    for (const workload::Job& job : workload.jobs)
+        events_.schedule(job.arrival, kPriArrival, [this, &job] {
+            due_jobs_.push_back(&job);
+            if (!halted_ && batch_ == nullptr) ensure_dispatch();
+        });
+    // Node death (cluster failover): an active batch is allowed to complete,
+    // but nothing further is admitted or dispatched, and the drive loop stops
+    // at the halt instant when the node is between batches.
+    if (config_.halt_at.micros != INT64_MAX)
+        events_.schedule(config_.halt_at, kPriHalt, [this] { halted_ = true; });
+
     while (completed_ < total) {
-        // Node death (cluster failover): stop dead at the configured virtual
-        // time; the cluster re-projects the unfinished work onto replicas.
-        if (clock_.now() >= config_.halt_at) {
-            halted_ = true;
-            break;
-        }
-        // Admit everything due at the current virtual time.
-        while (next_job < workload.jobs.size() &&
-               workload.jobs[next_job].arrival <= clock_.now()) {
-            submit_job(workload.jobs[next_job]);
-            ++next_job;
-        }
-        while (!visibility_.empty() && visibility_.top().at <= clock_.now()) {
-            const workload::QueryId id = visibility_.top().query;
-            visibility_.pop();
-            make_visible(id);
-        }
-
-        if (scheduler_->has_pending()) {
-            execute_one_batch();
+        if (halted_ && batch_ == nullptr) break;
+        if (events_.run_one()) continue;
+        // Queue drained with queries incomplete: only gated queries remain.
+        if (scheduler_->unstick(events_.now())) {
+            ensure_dispatch();
             continue;
         }
-
-        // Idle: jump to the next event (never past a scheduled node death —
-        // a dead node must not prefetch through its own halt).
-        util::SimTime next{INT64_MAX};
-        if (next_job < workload.jobs.size())
-            next = std::min(next, workload.jobs[next_job].arrival);
-        if (!visibility_.empty()) next = std::min(next, visibility_.top().at);
-        next = std::min(next, config_.halt_at);
-        if (next.micros != INT64_MAX) {
-            // The disk is idle until the next arrival/visibility event: spend
-            // the gap on speculative trajectory reads (Sec. VII).
-            run_prefetches(next);
-            idle_time_ += next - clock_.now();
-            clock_.advance_to(next);
-            continue;
-        }
-
-        // No pending work and no future events: only gated queries remain.
-        if (scheduler_->unstick(clock_.now())) continue;
         JAWS_LOG_ERROR("engine", "stalled with %zu/%zu queries complete", completed_, total);
         throw std::runtime_error("Engine::run: scheduler stalled");
     }
+    account_tick();  // settle integrals up to the final instant
 
     RunReport report;
     report.scheduler_name = scheduler_->name();
     report.cache_policy = cache_->policy_name();
     report.queries = completed_;
     report.jobs = workload.jobs.size();
-    report.makespan = clock_.now() - start;
+    report.makespan = events_.now() - start;
     const double seconds = std::max(1e-9, report.makespan.seconds());
     report.throughput_qps = static_cast<double>(completed_) / seconds;
     report.seconds_per_query =
@@ -406,6 +628,18 @@ RunReport Engine::run(const workload::Workload& workload) {
         static_cast<double>(report.cache.policy_overhead_ns) * 1e-6 /
         std::max<std::size_t>(1, completed_);
     report.disk = store_.disk_stats();
+    report.disk_busy_time = disk_busy_time_;
+    report.cpu_busy_time = cpu_busy_time_;
+    report.overlap_time = overlap_time_;
+    report.io_depth = config_.io_depth;
+    report.compute_workers = config_.compute_workers;
+    report.disk_utilization =
+        disk_res_.busy_channel_time().seconds() /
+        (seconds * static_cast<double>(config_.io_depth));
+    report.cpu_utilization =
+        cpu_res_.busy_channel_time().seconds() /
+        (seconds * static_cast<double>(config_.compute_workers));
+    report.overlap_fraction = overlap_time_.seconds() / seconds;
     report.atoms_processed = atoms_processed_;
     report.atom_reads = atom_reads_;
     report.support_reads = support_reads_;
@@ -417,25 +651,23 @@ RunReport Engine::run(const workload::Workload& workload) {
     report.degraded_queries = degraded_queries_;
     report.retry_backoff_time = retry_backoff_time_;
     report.faults = store_.fault_stats();
-    report.halted = halted_;
+    // Halted means the run stopped short; a final batch that happened to
+    // cross halt_at while finishing the workload is a completed run.
+    report.halted = halted_ && completed_ < total;
     report.final_alpha = scheduler_->current_alpha();
     if (const sched::GatingStats* gs = scheduler_->gating_stats()) report.gating = *gs;
     if (const sched::QosStats* qs = scheduler_->qos_stats()) report.qos = *qs;
     if (prefetcher_ != nullptr) report.prefetch = prefetcher_->stats();
+    report.prefetch_aborted = prefetch_aborted_;
     report.job_span_ms = job_spans_;
     if (config_.timeline_window_s > 0.0) {
         // Flush the final partial window.
-        if (window_completions_ > 0) {
-            TimelinePoint point;
-            point.window_end = clock_.now();
-            point.completions = window_completions_;
-            point.mean_response_ms =
-                window_response_ms_sum_ / static_cast<double>(window_completions_);
-            point.alpha = scheduler_->current_alpha();
-            point.backlog_subqueries = scheduler_->pending_count();
-            point.cache_hit_rate = cache_->stats().hit_rate();
-            timeline_.push_back(point);
-        }
+        const util::SimTime window =
+            util::SimTime::from_seconds(config_.timeline_window_s);
+        const util::SimTime last_boundary = timeline_next_ - window;
+        if (window_completions_ > 0)
+            flush_timeline_window(events_.now(),
+                                  (events_.now() - last_boundary).seconds());
         report.timeline = std::move(timeline_);
     }
     return report;

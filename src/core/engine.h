@@ -1,14 +1,25 @@
 // The JAWS engine: one database node's full stack (paper Fig. 7).
 //
 // Wires the query pre-processor, workload manager/scheduler, buffer cache and
-// atom store together and drives a workload to completion under the virtual
-// clock. The engine is the discrete-event simulator substituting for the
-// paper's SQL Server deployment: reading a missed atom charges the disk
-// model's cost, evaluating positions charges T_m, and query arrivals follow
-// the (possibly sped-up) trace. Ordered jobs' data dependencies are enforced
-// here — a query becomes *visible* to the scheduler only when its
-// predecessor has completed and the user's think time has elapsed, exactly
-// the dynamics of a live particle-tracking experiment.
+// atom store together and drives a workload to completion on a discrete-event
+// kernel (util::EventQueue). The engine models the node as two queued
+// resources: a disk with `EngineConfig::io_depth` service channels and a CPU
+// pool with `EngineConfig::compute_workers` workers. Demand reads, retry
+// backoffs, batch evaluation, query arrivals and visibility events are all
+// events on one deterministic queue, so I/O genuinely overlaps compute: while
+// one batch item's sub-queries evaluate on the CPU pool, the next items' atom
+// reads proceed on the disk channels (the paper's production behaviour — a
+// SQL Server node over a RAID stripe set — rather than a strictly serial
+// read-then-evaluate loop).
+//
+// With io_depth = 1 and compute_workers = 1 the pipeline window forces the
+// exact historical serial order (read, evaluate, next read), reproducing the
+// pre-kernel engine's reports bit-for-bit (see tests/serial_equivalence_test).
+//
+// Ordered jobs' data dependencies are enforced here — a query becomes
+// *visible* to the scheduler only when its predecessor has completed and the
+// user's think time has elapsed, exactly the dynamics of a live
+// particle-tracking experiment.
 //
 // An Engine instance executes one workload once; construct a fresh engine
 // per experimental configuration (they are cheap — the dataset is lazy).
@@ -25,6 +36,7 @@
 #include "sched/scheduler.h"
 #include "storage/atom_store.h"
 #include "storage/database_node.h"
+#include "util/event_queue.h"
 #include "util/sim_time.h"
 #include "workload/job.h"
 
@@ -48,9 +60,19 @@ class Engine {
     const cache::BufferCache& buffer_cache() const noexcept { return *cache_; }
     storage::AtomStore& store() noexcept { return store_; }
     sched::Scheduler& scheduler() noexcept { return *scheduler_; }
-    const util::VirtualClock& clock() const noexcept { return clock_; }
 
   private:
+    /// Same-instant event ordering (EventQueue priority classes): a node
+    /// death fires before anything else at its instant; resource completions
+    /// and retries come before new arrivals; arrivals before visibility
+    /// wake-ups; and the (deduplicated) dispatch pass runs last, once the
+    /// instant's admissions have all been buffered.
+    static constexpr int kPriHalt = 0;
+    static constexpr int kPriService = 1;
+    static constexpr int kPriArrival = 2;
+    static constexpr int kPriVisibility = 3;
+    static constexpr int kPriDispatch = 4;
+
     /// Oracle that forwards to the scheduler's workload manager once both
     /// exist (breaks the cache <-> scheduler construction cycle).
     class OracleRelay final : public cache::UtilityOracle {
@@ -85,58 +107,118 @@ class Engine {
         }
     };
 
-    /// How a demand read of an atom ended.
-    enum class ReadStatus {
-        kCached,  ///< Already resident; no disk request issued.
-        kLoaded,  ///< Read from disk (possibly after transient-fault retries).
-        kFailed,  ///< Retries exhausted or permanently bad: no data exists.
+    /// Execution state of one batch item as it flows through the pipeline:
+    /// demand read (with retries) -> kernel-support read -> per-sub-query
+    /// evaluation on the CPU pool.
+    struct ItemRun {
+        sched::BatchItem item;
+        std::size_t attempt = 1;       ///< Demand-read attempts so far.
+        double backoff_ms = 0.0;       ///< Next retry delay (pre-cap).
+        storage::ReadResult read;      ///< Stashed by the disk job's on_start.
+        std::shared_ptr<const field::VoxelBlock> payload;
+        std::size_t next_sub = 0;      ///< Next sub-query to evaluate.
+    };
+
+    /// One scheduler batch in flight. Items are issued into the pipeline in
+    /// batch order; at most io_depth items are in flight (issued but not yet
+    /// compute-complete) at once, so io_depth = 1 degenerates to the strict
+    /// serial order of the pre-kernel engine.
+    struct ActiveBatch {
+        std::vector<ItemRun> items;
+        std::size_t next_issue = 0;
+        std::size_t finished = 0;
+        std::size_t in_flight = 0;
     };
 
     std::unique_ptr<cache::ReplacementPolicy> make_policy();
     std::unique_ptr<sched::Scheduler> make_scheduler();
+
+    // --- admission (arrivals and visibility) ----------------------------
     void submit_job(const workload::Job& job);
     void make_visible(workload::QueryId id);
-    /// Read `atom` into the cache if absent, retrying transiently failed
-    /// reads with bounded exponential backoff charged to the virtual clock.
-    /// Propagates residency changes to the scheduler (and the prefetcher's
-    /// accuracy accounting when enabled).
-    ReadStatus ensure_resident(const storage::AtomId& atom);
+    /// Record a future visibility event and schedule a kernel wake-up for it
+    /// (due events are admitted by the next dispatch pass instead).
+    void push_visibility(util::SimTime at, workload::QueryId id);
+    /// Admit every job and visibility event due at the current virtual time,
+    /// in the pre-kernel engine's order: buffered arrivals first (which may
+    /// push fresh visibility events), then the visibility queue by (at, id).
+    void admit_due();
+    /// Schedule a dispatch pass at the current instant (deduplicated).
+    void ensure_dispatch();
+    void on_dispatch();
+
+    // --- batch pipeline --------------------------------------------------
+    void start_batch(std::vector<sched::BatchItem> items);
+    /// Issue batch items into the pipeline while the in-flight window
+    /// (io_depth) has room.
+    void issue_more();
+    void issue_item(std::size_t idx);
+    void submit_demand_read(std::size_t idx);
+    void demand_read_done(std::size_t idx);
+    /// Charge the cold kernel-support ghost reads of item `idx` as one disk
+    /// job, then begin evaluation.
+    void proceed_supports(std::size_t idx);
+    void begin_compute(std::size_t idx);
+    void submit_compute(std::size_t idx);
+    void compute_done(std::size_t idx);
+    void item_finished(std::size_t idx);
+    void end_batch();
+
+    /// Insert a freshly read atom and propagate residency changes to the
+    /// scheduler (and the prefetcher's accuracy accounting when enabled).
+    void insert_into_cache(const storage::AtomId& atom,
+                           std::shared_ptr<const field::VoxelBlock> data);
     /// Abandon sub-queries whose atom is unreadable: their owning queries
     /// lose those positions and complete *degraded* when nothing else is
     /// outstanding.
     void fail_subqueries(const std::vector<sched::SubQuery>& subs);
-    bool execute_one_batch();
     void complete_query(QueryRuntime& runtime);
-    /// Perform speculative reads from the prediction queue while they fit
-    /// before `until` (the next demand event) — prefetching uses only disk
-    /// time that would otherwise be idle.
-    void run_prefetches(util::SimTime until);
+
+    /// Issue speculative trajectory reads onto idle disk channels (true
+    /// background I/O: runs whenever a channel is free and no demand read is
+    /// waiting; a later demand read preempts it mid-service).
+    void try_issue_prefetch();
+
+    /// Integrate resource-busy/overlap/idle time up to the current instant.
+    /// Called (via SimResource observers) immediately before every
+    /// busy-channel-count change and around batch transitions.
+    void account_tick();
 
     EngineConfig config_;
-    util::VirtualClock clock_;
+    util::EventQueue events_;
     storage::AtomStore store_;
     storage::DatabaseNode db_;
+    util::SimResource disk_res_;
+    util::SimResource cpu_res_;
     OracleRelay oracle_;
     std::unique_ptr<cache::BufferCache> cache_;
     std::unique_ptr<sched::Scheduler> scheduler_;
     std::unique_ptr<sched::TrajectoryPrefetcher> prefetcher_;
     std::vector<storage::AtomId> prefetch_queue_;
+    std::vector<storage::ReadResult> prefetch_read_;  ///< Per-channel stash.
 
     std::unordered_map<workload::QueryId, QueryRuntime> runtime_;
     std::priority_queue<VisibilityEvent, std::vector<VisibilityEvent>,
                         std::greater<VisibilityEvent>>
         visibility_;
+    std::vector<const workload::Job*> due_jobs_;  ///< Arrived, not yet admitted.
     std::unordered_map<workload::JobId, std::size_t> job_remaining_;
     std::vector<QueryOutcome> outcomes_;
+    std::unique_ptr<ActiveBatch> batch_;
+    bool dispatch_pending_ = false;
 
     /// Roll the timeline forward to cover `now`, then account one completion
     /// with the given response time (response < 0 means "no completion, just
     /// roll windows").
     void timeline_tick(util::SimTime now, double response_ms);
+    void flush_timeline_window(util::SimTime window_end, double window_seconds);
     std::vector<TimelinePoint> timeline_;
     util::SimTime timeline_next_;
     std::uint64_t window_completions_ = 0;
     double window_response_ms_sum_ = 0.0;
+    util::SimTime tl_disk_channel_time_;  ///< Integrals at the last flush.
+    util::SimTime tl_cpu_channel_time_;
+    util::SimTime tl_overlap_time_;
 
     std::size_t completed_ = 0;
     std::uint64_t atoms_processed_ = 0;
@@ -145,6 +227,7 @@ class Engine {
     std::uint64_t read_failures_ = 0;
     std::uint64_t failed_subqueries_ = 0;
     std::uint64_t degraded_queries_ = 0;
+    std::uint64_t prefetch_aborted_ = 0;
     util::SimTime retry_backoff_time_;
     bool halted_ = false;
     std::uint64_t support_reads_ = 0;
@@ -154,7 +237,13 @@ class Engine {
     double job_span_ms_sum_ = 0.0;
     std::vector<double> job_spans_;
     std::size_t jobs_done_ = 0;
-    util::SimTime idle_time_;
+
+    // Continuous resource accounting (integrated by account_tick).
+    util::SimTime last_account_;
+    util::SimTime disk_busy_time_;     ///< >= 1 disk channel busy.
+    util::SimTime cpu_busy_time_;      ///< >= 1 worker busy.
+    util::SimTime overlap_time_;       ///< Both simultaneously busy.
+    util::SimTime idle_time_;          ///< Both idle and no batch active.
     bool ran_ = false;
 };
 

@@ -7,12 +7,14 @@
 namespace jaws::core {
 
 std::string RunReport::summary() const {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof buf,
                   "%-22s tp=%7.3f q/s  rt(mean)=%9.1f ms  rt(p95)=%9.1f ms  hit=%5.1f%%  "
-                  "reads=%llu",
+                  "reads=%llu  disk=%4.1f%%  cpu=%4.1f%%  overlap=%4.1f%%",
                   scheduler_name.c_str(), throughput_qps, mean_response_ms, p95_response_ms,
-                  100.0 * cache.hit_rate(), static_cast<unsigned long long>(atom_reads));
+                  100.0 * cache.hit_rate(), static_cast<unsigned long long>(atom_reads),
+                  100.0 * disk_utilization, 100.0 * cpu_utilization,
+                  100.0 * overlap_fraction);
     return buf;
 }
 

@@ -43,6 +43,9 @@ struct TimelinePoint {
     double alpha = 0.0;              ///< Age bias at the window boundary.
     std::size_t backlog_subqueries = 0;  ///< Pending sub-queries at the boundary.
     double cache_hit_rate = 0.0;     ///< Cumulative hit rate at the boundary.
+    double disk_utilization = 0.0;   ///< Mean busy disk channels / io_depth.
+    double cpu_utilization = 0.0;    ///< Mean busy workers / compute_workers.
+    double overlap_fraction = 0.0;   ///< Share of the window both disk and CPU busy.
 };
 
 /// Aggregated results of one engine run.
@@ -78,6 +81,20 @@ struct RunReport {
     double cache_overhead_per_query_ms = 0.0;  ///< Wall policy overhead per query.
     storage::DiskStats disk;
 
+    // --- modeled-resource accounting (event kernel) ---------------------
+    // The engine runs two queued resources: a disk with io_depth service
+    // channels and a CPU pool with compute_workers servers. These figures
+    // say where a configuration saturates (paper Fig. 11's regime question:
+    // is the node I/O-bound or compute-bound?).
+    util::SimTime disk_busy_time;    ///< Virtual time >= 1 disk channel was busy.
+    util::SimTime cpu_busy_time;     ///< Virtual time >= 1 worker was busy.
+    util::SimTime overlap_time;      ///< Time disk and CPU were busy *simultaneously*.
+    double disk_utilization = 0.0;   ///< Channel-time integral / (io_depth * makespan).
+    double cpu_utilization = 0.0;    ///< Worker-time integral / (workers * makespan).
+    double overlap_fraction = 0.0;   ///< overlap_time / makespan.
+    std::size_t io_depth = 1;        ///< Channels the run was configured with.
+    std::size_t compute_workers = 1; ///< Workers the run was configured with.
+
     std::uint64_t atoms_processed = 0;  ///< Batch items executed.
     std::uint64_t atom_reads = 0;       ///< Cache misses (disk reads).
     std::uint64_t support_reads = 0;    ///< Disk reads for kernel-support atoms.
@@ -99,6 +116,9 @@ struct RunReport {
     sched::GatingStats gating;
     sched::QosStats qos;              ///< Deadline accounting (QoS mode only).
     sched::PrefetchStats prefetch;    ///< Speculative-read accounting (if enabled).
+    /// Speculative reads cancelled mid-service because a demand read
+    /// preempted their disk channel (overlapped-I/O engine only).
+    std::uint64_t prefetch_aborted = 0;
     /// Wall span of each completed job (completion of last query - arrival),
     /// in milliseconds — the quantity Fig. 8 histograms from the SQL log.
     std::vector<double> job_span_ms;

@@ -112,6 +112,11 @@ void TrajectoryPrefetcher::on_prefetched(const storage::AtomId& atom) {
     outstanding_[atom] = false;  // not yet touched by demand
 }
 
+void TrajectoryPrefetcher::on_aborted(const storage::AtomId& atom) {
+    (void)atom;  // nothing entered outstanding_: the read never completed
+    ++stats_.aborted;
+}
+
 void TrajectoryPrefetcher::on_demand_access(const storage::AtomId& atom) {
     const auto it = outstanding_.find(atom);
     if (it == outstanding_.end() || it->second) return;

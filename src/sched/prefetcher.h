@@ -38,6 +38,8 @@ struct PrefetchStats {
     std::uint64_t prefetches = 0;      ///< Speculative reads actually performed.
     std::uint64_t hits = 0;            ///< Prefetched atoms later requested.
     std::uint64_t wasted = 0;          ///< Prefetched atoms evicted untouched.
+    std::uint64_t aborted = 0;         ///< Speculative reads preempted mid-service
+                                       ///< by a demand read (no data cached).
 
     double accuracy() const noexcept {
         const std::uint64_t settled = hits + wasted;
@@ -67,6 +69,9 @@ class TrajectoryPrefetcher {
 
     /// The engine performed a speculative read of `atom`.
     void on_prefetched(const storage::AtomId& atom);
+    /// A speculative read of `atom` was cancelled mid-service (its disk
+    /// channel was preempted by a demand read); nothing was cached.
+    void on_aborted(const storage::AtomId& atom);
     /// A demand request touched `atom` (was it one of ours?).
     void on_demand_access(const storage::AtomId& atom);
     /// `atom` left the cache (prefetch wasted if never touched).

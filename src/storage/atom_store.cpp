@@ -8,14 +8,16 @@
 namespace jaws::storage {
 
 AtomStore::AtomStore(const AtomStoreSpec& spec)
-    : spec_(spec), field_(spec.field), disk_([&spec] {
-          // Scale seek strokes to the actual layout size so cross-time-step
-          // distances cost what they should.
-          DiskSpec d = spec.disk;
-          d.capacity_bytes =
-              std::max<std::uint64_t>(1, spec.grid.total_atoms() * spec.grid.atom_bytes());
-          return d;
-      }()),
+    : spec_(spec), field_(spec.field), disk_(
+          [&spec] {
+              // Scale seek strokes to the actual layout size so cross-time-step
+              // distances cost what they should.
+              DiskSpec d = spec.disk;
+              d.capacity_bytes = std::max<std::uint64_t>(
+                  1, spec.grid.total_atoms() * spec.grid.atom_bytes());
+              return d;
+          }(),
+          spec.io_channels),
       faults_(spec.faults) {
     // Lay atoms out in clustered key order: each time step's atoms are
     // contiguous and Morton-sorted, mirroring the production layout that
@@ -42,11 +44,11 @@ bool AtomStore::contains(const AtomId& id) const {
     return index_.find(id.key()).has_value();
 }
 
-ReadResult AtomStore::read(const AtomId& id) {
+ReadResult AtomStore::read(const AtomId& id, std::size_t channel) {
     const auto extent = index_.find(id.key());
     if (!extent) throw std::out_of_range("AtomStore::read: atom outside dataset");
     ReadResult result;
-    result.io_cost = disk_.read(extent->offset, extent->length);
+    result.io_cost = disk_.read(extent->offset, extent->length, channel);
     if (faults_.enabled()) {
         const FaultOutcome fault = faults_.on_read(id);
         if (fault.failed) {

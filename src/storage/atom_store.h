@@ -34,6 +34,7 @@ struct AtomStoreSpec {
     field::GridSpec grid;        ///< Dataset geometry.
     field::FieldSpec field;      ///< Synthetic-field parameters.
     DiskSpec disk;               ///< Disk model parameters.
+    std::size_t io_channels = 1; ///< Concurrent disk service channels (RAID depth).
     bool materialize_data = false;  ///< Synthesize voxel payloads on read.
     FaultSpec faults;            ///< Deterministic fault injection (default: none).
 };
@@ -44,13 +45,13 @@ class AtomStore {
   public:
     explicit AtomStore(const AtomStoreSpec& spec);
 
-    /// Read one atom: looks up the extent in the B+ tree, charges the disk,
-    /// and synthesises the payload if materialisation is enabled. Throws
-    /// std::out_of_range for an atom outside the dataset. When fault
+    /// Read one atom: looks up the extent in the B+ tree, charges the disk's
+    /// `channel`, and synthesises the payload if materialisation is enabled.
+    /// Throws std::out_of_range for an atom outside the dataset. When fault
     /// injection is configured the attempt may come back `failed` (the disk
     /// time is still charged — the head moved) or carry straggler latency
     /// already folded into `io_cost`.
-    ReadResult read(const AtomId& id);
+    ReadResult read(const AtomId& id, std::size_t channel = 0);
 
     /// Whether `id` denotes an atom of this dataset.
     bool contains(const AtomId& id) const;
@@ -61,6 +62,8 @@ class AtomStore {
     const field::SyntheticField& field() const noexcept { return field_; }
     /// Disk statistics.
     const DiskStats& disk_stats() const noexcept { return disk_.stats(); }
+    /// The disk model itself (the engine's abort accounting needs it).
+    DiskModel& disk() noexcept { return disk_; }
     /// Reset disk statistics between experiment repetitions.
     void reset_stats() noexcept { disk_.reset_stats(); }
     /// The underlying index (exposed for tests and micro-benches).

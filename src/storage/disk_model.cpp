@@ -2,14 +2,19 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace jaws::storage {
 
-util::SimTime DiskModel::peek_cost(std::uint64_t offset, std::uint64_t bytes) const {
+util::SimTime DiskModel::peek_cost(std::uint64_t offset, std::uint64_t bytes,
+                                   std::size_t channel) const {
+    if (channel >= heads_.size())
+        throw std::out_of_range("DiskModel::peek_cost: no such channel");
+    const std::uint64_t head = heads_[channel];
     double ms = 0.0;
-    if (offset != head_) {
+    if (offset != head) {
         const double distance =
-            static_cast<double>(offset > head_ ? offset - head_ : head_ - offset);
+            static_cast<double>(offset > head ? offset - head : head - offset);
         const double stroke_frac =
             std::min(1.0, distance / static_cast<double>(spec_.capacity_bytes));
         // Seek time grows sub-linearly with distance (classic sqrt model).
@@ -19,13 +24,14 @@ util::SimTime DiskModel::peek_cost(std::uint64_t offset, std::uint64_t bytes) co
     return util::SimTime::from_millis(ms);
 }
 
-util::SimTime DiskModel::read(std::uint64_t offset, std::uint64_t bytes) {
-    const util::SimTime cost = peek_cost(offset, bytes);
+util::SimTime DiskModel::read(std::uint64_t offset, std::uint64_t bytes,
+                              std::size_t channel) {
+    const util::SimTime cost = peek_cost(offset, bytes, channel);
     ++stats_.requests;
-    if (offset == head_) ++stats_.sequential_requests;
+    if (offset == heads_[channel]) ++stats_.sequential_requests;
     stats_.bytes_read += bytes;
-    stats_.busy_time += cost;
-    head_ = offset + bytes;
+    stats_.service_time += cost;
+    heads_[channel] = offset + bytes;
     return cost;
 }
 

@@ -7,9 +7,17 @@
 // model reproduces both: callers get a virtual-time cost per request, and the
 // scheduler's Morton-ordered batching visibly reduces the seek component —
 // the mechanism the paper's layout choice exists to exploit.
+//
+// The model exposes `channels` independent service channels (the RAID array's
+// command parallelism): each channel keeps its own head position, so
+// concurrent requests dispatched by the event kernel's SimResource do not
+// interfere with each other's seek state. Request *queuing* lives in the
+// SimResource that fronts this model; the DiskModel itself only prices and
+// accounts individual requests.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/sim_time.h"
 
@@ -30,39 +38,58 @@ struct DiskSpec {
                                                 ///< AtomStore sets it to the layout size.
 };
 
-/// Aggregate request accounting.
+/// Aggregate request accounting. `service_time` (positioning + transfer
+/// actually rendered) and `fault_delay` (injected straggler time) are
+/// *disjoint*: total time the disk spent on requests is their sum.
 struct DiskStats {
     std::uint64_t requests = 0;
-    std::uint64_t sequential_requests = 0;  ///< Requests starting where the head was.
+    std::uint64_t sequential_requests = 0;  ///< Requests starting where a head was.
+    std::uint64_t aborted_requests = 0;     ///< Requests cancelled mid-service
+                                            ///< (preempted speculative reads).
     std::uint64_t bytes_read = 0;
-    util::SimTime busy_time;  ///< Total virtual time spent servicing requests.
-    util::SimTime fault_delay;  ///< Injected straggler time (part of busy_time).
+    util::SimTime service_time;  ///< Positioning + transfer time rendered.
+    util::SimTime fault_delay;   ///< Injected straggler time (disjoint).
+
+    /// Total virtual time the disk spent on requests.
+    util::SimTime total_busy() const noexcept { return service_time + fault_delay; }
 };
 
-/// Single-head disk with positional state. Not thread-safe; each database
-/// node owns its own disk (matching the one-JAWS-instance-per-node layout).
+/// Multi-channel disk with per-channel positional state. Not thread-safe;
+/// each database node owns its own disk (matching the one-JAWS-instance-
+/// per-node layout).
 class DiskModel {
   public:
-    explicit DiskModel(const DiskSpec& spec = {}) : spec_(spec) {}
+    explicit DiskModel(const DiskSpec& spec = {}, std::size_t channels = 1)
+        : spec_(spec), heads_(channels ? channels : 1, 0) {}
 
-    /// Cost of reading `bytes` at `offset`, advancing the head. Sequential
-    /// reads (offset == current head) pay no seek.
-    util::SimTime read(std::uint64_t offset, std::uint64_t bytes);
+    /// Cost of reading `bytes` at `offset` on `channel`, advancing that
+    /// channel's head. Sequential reads (offset == channel head) pay no seek.
+    util::SimTime read(std::uint64_t offset, std::uint64_t bytes,
+                       std::size_t channel = 0);
 
     /// Cost the same read would incur, without performing it.
-    util::SimTime peek_cost(std::uint64_t offset, std::uint64_t bytes) const;
+    util::SimTime peek_cost(std::uint64_t offset, std::uint64_t bytes,
+                            std::size_t channel = 0) const;
 
-    /// Account injected extra service time (fault-injector latency spikes)
-    /// against this disk's busy-time statistics.
-    void charge_delay(util::SimTime extra) noexcept {
-        stats_.busy_time += extra;
-        stats_.fault_delay += extra;
+    /// Account injected extra service time (fault-injector latency spikes).
+    /// Kept disjoint from service_time — see DiskStats.
+    void charge_delay(util::SimTime extra) noexcept { stats_.fault_delay += extra; }
+
+    /// A request already counted by read() was cancelled mid-service
+    /// (preempted speculative read): return the unrendered tail of its
+    /// service time so busy accounting reflects what the disk actually did.
+    void cancel_tail(util::SimTime unrendered) noexcept {
+        ++stats_.aborted_requests;
+        stats_.service_time = stats_.service_time - unrendered;
     }
+
+    /// Number of independent service channels.
+    std::size_t channels() const noexcept { return heads_.size(); }
 
     /// Lifetime request statistics.
     const DiskStats& stats() const noexcept { return stats_; }
 
-    /// Reset statistics (head position is kept).
+    /// Reset statistics (head positions are kept).
     void reset_stats() noexcept { stats_ = DiskStats{}; }
 
     /// The spec the model was built with.
@@ -71,7 +98,7 @@ class DiskModel {
   private:
     DiskSpec spec_;
     DiskStats stats_;
-    std::uint64_t head_ = 0;
+    std::vector<std::uint64_t> heads_;
 };
 
 }  // namespace jaws::storage

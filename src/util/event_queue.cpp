@@ -1,0 +1,155 @@
+#include "util/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace jaws::util {
+
+// --------------------------------------------------------------------------
+// EventQueue
+// --------------------------------------------------------------------------
+
+void EventQueue::reset_to(SimTime t) {
+    if (!handlers_.empty())
+        throw std::logic_error("EventQueue::reset_to: events still pending");
+    while (!heap_.empty()) heap_.pop();  // drop cancelled tombstones
+    now_ = t;
+}
+
+EventQueue::EventId EventQueue::schedule(SimTime at, int priority, Handler fn) {
+    const EventId id = next_id_++;
+    if (at < now_) at = now_;  // the past is immutable; fire as soon as possible
+    heap_.push(Entry{at, priority, id});
+    handlers_.emplace(id, std::move(fn));
+    return id;
+}
+
+bool EventQueue::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+void EventQueue::drop_cancelled() {
+    while (!heap_.empty() && handlers_.find(heap_.top().seq) == handlers_.end())
+        heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+    const_cast<EventQueue*>(this)->drop_cancelled();
+    assert(!heap_.empty());
+    return heap_.top().at;
+}
+
+bool EventQueue::run_one() {
+    drop_cancelled();
+    if (heap_.empty()) return false;
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = handlers_.find(top.seq);
+    assert(it != handlers_.end());
+    Handler fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = top.at;  // monotone: entries are never scheduled before now_
+    fn();
+    return true;
+}
+
+// --------------------------------------------------------------------------
+// SimResource
+// --------------------------------------------------------------------------
+
+SimResource::SimResource(EventQueue& events, std::size_t channels,
+                         int completion_priority)
+    : events_(events), completion_priority_(completion_priority) {
+    if (channels == 0)
+        throw std::invalid_argument("SimResource: at least one channel required");
+    channels_.resize(channels);
+    last_change_ = events_.now();
+}
+
+std::size_t SimResource::queued() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [pri, q] : waiting_) n += q.size();
+    return n;
+}
+
+SimTime SimResource::busy_channel_time() const {
+    const SimTime now = events_.now();
+    return busy_integral_ +
+           SimTime{static_cast<std::int64_t>(busy_) * (now - last_change_).micros};
+}
+
+void SimResource::note_busy_change(std::size_t delta_sign) {
+    if (observer_) observer_();  // old busy count still visible to the observer
+    const SimTime now = events_.now();
+    busy_integral_ +=
+        SimTime{static_cast<std::int64_t>(busy_) * (now - last_change_).micros};
+    last_change_ = now;
+    busy_ = delta_sign ? busy_ + 1 : busy_ - 1;
+}
+
+void SimResource::submit(Job job) {
+    // A free channel serves immediately.
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        if (!channels_[c].busy) {
+            start_on(c, std::move(job));
+            return;
+        }
+    }
+    // No free channel: a non-preemptible job may evict a preemptible one
+    // mid-service (a demand read cancelling a speculative prefetch).
+    if (!job.preemptible) {
+        for (std::size_t c = 0; c < channels_.size(); ++c) {
+            Channel& ch = channels_[c];
+            if (!ch.busy || !ch.preemptible) continue;
+            events_.cancel(ch.completion);
+            const SimTime remaining = ch.started + ch.duration - events_.now();
+            Job aborted = std::move(ch.job);
+            if (aborted.on_abort) aborted.on_abort(c, remaining);
+            // The channel stays busy (no count change): it switches jobs.
+            ch.preemptible = job.preemptible;
+            ch.started = events_.now();
+            ch.job = std::move(job);
+            ch.duration = ch.job.on_start ? ch.job.on_start(c) : SimTime::zero();
+            const std::size_t chan = c;
+            ch.completion = events_.schedule(ch.started + ch.duration,
+                                             completion_priority_,
+                                             [this, chan] { finish(chan); });
+            return;
+        }
+    }
+    waiting_[job.priority].push_back(std::move(job));
+}
+
+void SimResource::start_on(std::size_t channel, Job&& job) {
+    Channel& ch = channels_[channel];
+    assert(!ch.busy);
+    note_busy_change(1);
+    ch.busy = true;
+    ch.preemptible = job.preemptible;
+    ch.started = events_.now();
+    ch.job = std::move(job);
+    ch.duration = ch.job.on_start ? ch.job.on_start(channel) : SimTime::zero();
+    ch.completion = events_.schedule(ch.started + ch.duration, completion_priority_,
+                                     [this, channel] { finish(channel); });
+}
+
+void SimResource::finish(std::size_t channel) {
+    Channel& ch = channels_[channel];
+    assert(ch.busy);
+    note_busy_change(0);
+    ch.busy = false;
+    Job done = std::move(ch.job);
+    // Serve the waiting queue before running the completion handler so a job
+    // submitted *from* the handler cannot jump ahead of queued work.
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+        if (it->second.empty()) continue;
+        Job next = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) waiting_.erase(it);
+        start_on(channel, std::move(next));
+        break;
+    }
+    if (done.on_complete) done.on_complete(channel);
+    if (has_free_channel() && waiting_.empty() && idle_hook_) idle_hook_();
+}
+
+}  // namespace jaws::util

@@ -1,0 +1,168 @@
+// Discrete-event simulation kernel.
+//
+// The engine used to advance one implicit timeline (`clock_.advance(io)` then
+// `clock_.advance(compute)`), which structurally serialises I/O and compute
+// and can never reproduce the paper's production behaviour: a SQL Server node
+// over a RAID-5 stripe set where atom reads proceed concurrently with batch
+// evaluation (Sec. III, Fig. 7). This header extracts the two pieces a real
+// simulator core needs, following LifeRaft's and Dell'Amico's job-scheduling
+// simulators (PAPERS.md):
+//
+//   * EventQueue — a deterministic time-ordered event queue. Events fire in
+//     (time, priority, insertion order) order: ties at the same virtual
+//     instant are broken first by an explicit priority class (so e.g. a node
+//     death always precedes a same-instant arrival) and then FIFO by
+//     insertion, which makes every run bit-reproducible.
+//   * SimResource — a modelled server with a configurable number of parallel
+//     service channels and a priority waiting queue (a disk with `io_depth`
+//     RAID channels, a CPU pool with `compute_workers` workers). Jobs marked
+//     preemptible (speculative prefetch reads) can be cancelled mid-service
+//     when a non-preemptible job (a demand read) needs the channel.
+//
+// All time is virtual (util::SimTime); running the kernel never sleeps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace jaws::util {
+
+/// Deterministic time-ordered event queue with stable FIFO tie-breaking.
+class EventQueue {
+  public:
+    using EventId = std::uint64_t;
+    using Handler = std::function<void()>;
+
+    /// Current virtual time (the timestamp of the last event run).
+    SimTime now() const noexcept { return now_; }
+
+    /// Set the clock without running events (start of a run). Only valid
+    /// while no events are pending.
+    void reset_to(SimTime t);
+
+    /// Schedule `fn` at virtual time `at` (clamped to now(): the kernel
+    /// cannot schedule into the past). Events at equal times fire in
+    /// ascending `priority`, then in insertion order. Returns an id usable
+    /// with cancel().
+    EventId schedule(SimTime at, int priority, Handler fn);
+
+    /// Cancel a pending event. Returns false if it already ran or was
+    /// cancelled. O(1); the heap entry is lazily discarded.
+    bool cancel(EventId id);
+
+    /// Whether any non-cancelled event is pending.
+    bool empty() const noexcept { return handlers_.empty(); }
+
+    /// Number of pending (non-cancelled) events.
+    std::size_t pending() const noexcept { return handlers_.size(); }
+
+    /// Timestamp of the next pending event. Requires !empty().
+    SimTime next_time() const;
+
+    /// Advance the clock to the earliest pending event and run its handler.
+    /// Returns false (and leaves the clock alone) when no event is pending.
+    bool run_one();
+
+  private:
+    struct Entry {
+        SimTime at;
+        int priority;
+        EventId seq;
+
+        bool operator>(const Entry& o) const noexcept {
+            if (at != o.at) return at > o.at;
+            if (priority != o.priority) return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    void drop_cancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+    std::unordered_map<EventId, Handler> handlers_;
+    EventId next_id_ = 0;
+    SimTime now_ = SimTime::zero();
+};
+
+/// A modelled hardware resource: `channels` parallel service channels in
+/// front of a priority waiting queue. Service durations are decided when
+/// service *starts* (a disk read's cost depends on where that channel's head
+/// is by then), and completion fires as a kernel event. Busy-channel time is
+/// integrated continuously so callers can report utilisation.
+class SimResource {
+  public:
+    /// One request. `on_start` runs when a channel begins service and returns
+    /// the service duration; `on_complete` runs when service finishes.
+    /// `on_abort` runs instead of `on_complete` when a preemptible job is
+    /// cancelled mid-service (argument: service time *not* rendered).
+    struct Job {
+        int priority = 0;         ///< Waiting-queue class; lower serves first.
+        bool preemptible = false; ///< May be cancelled for a non-preemptible job.
+        std::function<SimTime(std::size_t channel)> on_start;
+        std::function<void(std::size_t channel)> on_complete;
+        std::function<void(std::size_t channel, SimTime remaining)> on_abort;
+    };
+
+    /// `completion_priority` is the EventQueue priority class used for
+    /// service-completion events.
+    SimResource(EventQueue& events, std::size_t channels, int completion_priority);
+
+    /// Submit a request: starts service immediately on a free channel,
+    /// preempts a running preemptible job if the new job is non-preemptible
+    /// and no channel is free, and queues otherwise.
+    void submit(Job job);
+
+    std::size_t channels() const noexcept { return channels_.size(); }
+    std::size_t busy_channels() const noexcept { return busy_; }
+    std::size_t queued() const noexcept;
+    bool has_free_channel() const noexcept { return busy_ < channels_.size(); }
+    bool idle() const noexcept { return busy_ == 0 && queued() == 0; }
+
+    /// Integral of busy channels over virtual time (channel-time), for
+    /// utilisation reporting.
+    SimTime busy_channel_time() const;
+
+    /// Called immediately *before* every busy-channel-count change, while the
+    /// old count is still observable (the engine uses this to integrate
+    /// cross-resource overlap).
+    void set_observer(std::function<void()> observer) { observer_ = std::move(observer); }
+
+    /// Called whenever a channel goes idle with an empty waiting queue (the
+    /// engine uses this to issue background prefetch reads).
+    void set_idle_hook(std::function<void()> hook) { idle_hook_ = std::move(hook); }
+
+  private:
+    struct Channel {
+        bool busy = false;
+        bool preemptible = false;
+        SimTime started;
+        SimTime duration;
+        EventQueue::EventId completion = 0;
+        Job job;
+    };
+
+    void start_on(std::size_t channel, Job&& job);
+    void finish(std::size_t channel);
+    void note_busy_change(std::size_t delta_sign);
+
+    EventQueue& events_;
+    int completion_priority_;
+    std::vector<Channel> channels_;
+    std::map<int, std::deque<Job>> waiting_;
+    std::size_t busy_ = 0;
+    // Busy-channel integral: accumulated up to last_change_, plus busy_ *
+    // (now - last_change_) on read.
+    mutable SimTime busy_integral_;
+    SimTime last_change_;
+    std::function<void()> observer_;
+    std::function<void()> idle_hook_;
+};
+
+}  // namespace jaws::util

@@ -49,6 +49,7 @@ class DatabaseNodeWithData : public ::testing::Test {
         : store_(AtomStoreSpec{small_grid(),
                                field::FieldSpec{.seed = 70, .modes = 6, .max_wavenumber = 3.0},
                                DiskSpec{},
+                               /*io_channels=*/1,
                                /*materialize_data=*/true,
                                FaultSpec{}}),
           node_(small_grid(), CostModel{}) {}

@@ -1,6 +1,8 @@
 // Tests for the simulated disk (storage/disk_model.h).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "storage/disk_model.h"
 
 namespace jaws::storage {
@@ -81,7 +83,49 @@ TEST(DiskModel, StatsAccounting) {
     EXPECT_EQ(s.requests, 3u);
     EXPECT_EQ(s.sequential_requests, 2u);  // the first read starts at head 0
     EXPECT_EQ(s.bytes_read, 3u << 20);
-    EXPECT_GT(s.busy_time.millis(), 0.0);
+    EXPECT_GT(s.service_time.millis(), 0.0);
+    // No fault injector attached: all busy time is rendered service.
+    EXPECT_EQ(s.fault_delay.micros, 0);
+    EXPECT_EQ(s.total_busy().micros, s.service_time.micros);
+}
+
+TEST(DiskModel, ChargeDelayIsDisjointFromServiceTime) {
+    DiskModel disk(spec());
+    disk.read(0, 1 << 20);
+    const util::SimTime service = disk.stats().service_time;
+    disk.charge_delay(util::SimTime::from_millis(80.0));
+    const DiskStats& s = disk.stats();
+    EXPECT_EQ(s.service_time.micros, service.micros);  // unchanged
+    EXPECT_EQ(s.fault_delay.micros, util::SimTime::from_millis(80.0).micros);
+    EXPECT_EQ(s.total_busy().micros, (service + s.fault_delay).micros);
+}
+
+TEST(DiskModel, ChannelsKeepIndependentHeads) {
+    DiskModel disk(spec(), /*channels=*/2);
+    disk.read(0, 1 << 20, /*channel=*/0);  // channel 0 head at 1 MiB
+    // Channel 1's head is still parked at 0: the same sequential-continuation
+    // read is cheap on channel 0 but pays a seek on channel 1.
+    const double chan0 = disk.peek_cost(1 << 20, 1 << 20, 0).millis();
+    const double chan1 = disk.peek_cost(1 << 20, 1 << 20, 1).millis();
+    EXPECT_NEAR(chan0, transfer_ms(1 << 20), 2e-3);
+    EXPECT_GT(chan1, chan0 + 0.9);  // settle_ms at least
+}
+
+TEST(DiskModel, ChannelOutOfRangeThrows) {
+    DiskModel disk(spec(), /*channels=*/2);
+    EXPECT_THROW(disk.read(0, 1 << 20, /*channel=*/2), std::out_of_range);
+    EXPECT_THROW(disk.peek_cost(0, 1 << 20, 7), std::out_of_range);
+}
+
+TEST(DiskModel, CancelTailRefundsUnrenderedServiceTime) {
+    DiskModel disk(spec());
+    const util::SimTime cost = disk.read(0, 4 << 20);
+    const util::SimTime tail{cost.micros / 2};
+    disk.cancel_tail(tail);
+    const DiskStats& s = disk.stats();
+    EXPECT_EQ(s.aborted_requests, 1u);
+    EXPECT_EQ(s.requests, 1u);  // the request still happened
+    EXPECT_EQ(s.service_time.micros, (cost - tail).micros);
 }
 
 TEST(DiskModel, ResetStatsKeepsHead) {

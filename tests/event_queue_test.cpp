@@ -1,0 +1,294 @@
+// Tests for the discrete-event kernel (util/event_queue.h): deterministic
+// event ordering with FIFO tie-breaking, cancellation, and the modeled
+// multi-channel resource (service, queuing, preemption, busy-time integral).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/event_queue.h"
+
+namespace jaws::util {
+namespace {
+
+SimTime us(std::int64_t n) { return SimTime::from_micros(n); }
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(us(30), 0, [&] { order.push_back(3); });
+    q.schedule(us(10), 0, [&] { order.push_back(1); });
+    q.schedule(us(20), 0, [&] { order.push_back(2); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now().micros, 30);
+}
+
+TEST(EventQueue, EqualTimestampsFireInPriorityThenInsertionOrder) {
+    EventQueue q;
+    std::vector<std::string> order;
+    q.schedule(us(5), 2, [&] { order.push_back("p2-first"); });
+    q.schedule(us(5), 1, [&] { order.push_back("p1-first"); });
+    q.schedule(us(5), 2, [&] { order.push_back("p2-second"); });
+    q.schedule(us(5), 1, [&] { order.push_back("p1-second"); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<std::string>{"p1-first", "p1-second", "p2-first",
+                                               "p2-second"}));
+}
+
+TEST(EventQueue, FifoTieBreakIsStableAcrossManyEvents) {
+    // Same instant, same priority: strictly insertion order, regardless of
+    // how the underlying heap happens to rebalance.
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) q.schedule(us(7), 0, [&, i] { order.push_back(i); });
+    while (q.run_one()) {
+    }
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, InterleavedInsertionDoesNotChangeKeyedOrder) {
+    // Two schedules of the same event set in different insertion orders run
+    // in the same (time, priority) order — determinism does not depend on
+    // construction history when keys are distinct.
+    const std::vector<std::pair<std::int64_t, int>> keys = {
+        {40, 1}, {10, 0}, {10, 2}, {25, 1}, {40, 0}, {5, 3}};
+    std::vector<std::pair<std::int64_t, int>> first, second;
+    {
+        EventQueue q;
+        for (const auto& k : keys)
+            q.schedule(us(k.first), k.second, [&, k] { first.push_back(k); });
+        while (q.run_one()) {
+        }
+    }
+    {
+        EventQueue q;
+        for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+            const auto k = *it;
+            q.schedule(us(k.first), k.second, [&, k] { second.push_back(k); });
+        }
+        while (q.run_one()) {
+        }
+    }
+    EXPECT_EQ(first, second);
+}
+
+TEST(EventQueue, SchedulingIntoThePastClampsToNow) {
+    EventQueue q;
+    SimTime fired = SimTime::zero();
+    q.schedule(us(100), 0, [&] {
+        q.schedule(us(1), 0, [&] { fired = q.now(); });  // "1us" is long gone
+    });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(fired.micros, 100);
+}
+
+TEST(EventQueue, CancelledEventsDoNotFire) {
+    EventQueue q;
+    int fired = 0;
+    const auto id = q.schedule(us(10), 0, [&] { ++fired; });
+    q.schedule(us(20), 0, [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // already cancelled
+    EXPECT_EQ(q.pending(), 1u);
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledEntries) {
+    EventQueue q;
+    const auto id = q.schedule(us(10), 0, [] {});
+    q.schedule(us(50), 0, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.next_time().micros, 50);
+}
+
+TEST(EventQueue, RunOneOnEmptyQueueReturnsFalse) {
+    EventQueue q;
+    EXPECT_FALSE(q.run_one());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ResetToSetsClockAndRejectsPendingEvents) {
+    EventQueue q;
+    q.reset_to(us(500));
+    EXPECT_EQ(q.now().micros, 500);
+    q.schedule(us(600), 0, [] {});
+    EXPECT_THROW(q.reset_to(us(0)), std::logic_error);
+}
+
+TEST(EventQueue, HandlersMayScheduleFurtherEvents) {
+    EventQueue q;
+    std::vector<std::int64_t> times;
+    q.schedule(us(10), 0, [&] {
+        times.push_back(q.now().micros);
+        q.schedule(q.now() + us(15), 0, [&] { times.push_back(q.now().micros); });
+    });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(times, (std::vector<std::int64_t>{10, 25}));
+}
+
+// --------------------------------------------------------------------------
+// SimResource
+// --------------------------------------------------------------------------
+
+SimResource::Job fixed_job(SimTime duration, std::vector<std::int64_t>& completions,
+                           EventQueue& q, std::int64_t tag = 0) {
+    SimResource::Job job;
+    job.on_start = [duration](std::size_t) { return duration; };
+    job.on_complete = [&completions, &q, tag](std::size_t) {
+        completions.push_back(tag ? tag : q.now().micros);
+    };
+    return job;
+}
+
+TEST(SimResource, SingleChannelServesSerially) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    disk.submit(fixed_job(us(10), done, q));
+    disk.submit(fixed_job(us(5), done, q));  // queues behind the first
+    EXPECT_EQ(disk.busy_channels(), 1u);
+    EXPECT_EQ(disk.queued(), 1u);
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(done, (std::vector<std::int64_t>{10, 15}));
+    EXPECT_TRUE(disk.idle());
+}
+
+TEST(SimResource, TwoChannelsServeInParallel) {
+    EventQueue q;
+    SimResource disk(q, 2, 0);
+    std::vector<std::int64_t> done;
+    disk.submit(fixed_job(us(10), done, q));
+    disk.submit(fixed_job(us(10), done, q));
+    EXPECT_EQ(disk.busy_channels(), 2u);
+    EXPECT_EQ(disk.queued(), 0u);
+    while (q.run_one()) {
+    }
+    // Both finish at t=10, not t=10 and t=20.
+    EXPECT_EQ(done, (std::vector<std::int64_t>{10, 10}));
+}
+
+TEST(SimResource, WaitingQueueServesLowerPriorityClassFirst) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    disk.submit(fixed_job(us(10), done, q, 1));  // occupies the channel
+    auto low = fixed_job(us(10), done, q, 3);
+    low.priority = 1;
+    disk.submit(std::move(low));
+    auto high = fixed_job(us(10), done, q, 2);
+    high.priority = 0;  // submitted later, but a more urgent class
+    disk.submit(std::move(high));
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(done, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(SimResource, ServiceDurationDecidedAtStartNotSubmission) {
+    // on_start runs when the channel begins service — a disk read's cost
+    // depends on where the head is *then*, not at submission.
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    SimTime second_duration = us(100);
+    disk.submit(fixed_job(us(10), done, q));
+    SimResource::Job job;
+    job.on_start = [&second_duration](std::size_t) { return second_duration; };
+    job.on_complete = [&done, &q](std::size_t) { done.push_back(q.now().micros); };
+    disk.submit(std::move(job));
+    second_duration = us(7);  // changed while the job waits in queue
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(done, (std::vector<std::int64_t>{10, 17}));
+}
+
+TEST(SimResource, NonPreemptibleJobPreemptsPreemptibleMidService) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    SimTime abort_remaining = SimTime::zero();
+    std::int64_t abort_at = -1;
+    SimResource::Job spec;
+    spec.preemptible = true;
+    spec.priority = 1;
+    spec.on_start = [](std::size_t) { return us(100); };
+    spec.on_complete = [&done, &q](std::size_t) { done.push_back(-1); };
+    spec.on_abort = [&](std::size_t, SimTime remaining) {
+        abort_remaining = remaining;
+        abort_at = q.now().micros;
+    };
+    disk.submit(std::move(spec));
+    q.schedule(us(40), 0, [&] { disk.submit(fixed_job(us(10), done, q)); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(abort_at, 40);                    // preempted on demand arrival
+    EXPECT_EQ(abort_remaining.micros, 60);      // 100 - 40 not rendered
+    EXPECT_EQ(done, (std::vector<std::int64_t>{50}));  // demand runs 40..50
+}
+
+TEST(SimResource, NonPreemptibleJobsAreNeverPreempted) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    disk.submit(fixed_job(us(100), done, q));   // non-preemptible by default
+    q.schedule(us(40), 0, [&] { disk.submit(fixed_job(us(10), done, q)); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(done, (std::vector<std::int64_t>{100, 110}));
+}
+
+TEST(SimResource, BusyChannelTimeIntegratesAcrossChannels) {
+    EventQueue q;
+    SimResource disk(q, 2, 0);
+    std::vector<std::int64_t> done;
+    disk.submit(fixed_job(us(10), done, q));
+    disk.submit(fixed_job(us(30), done, q));
+    while (q.run_one()) {
+    }
+    // Channel 0 busy for 10us, channel 1 for 30us.
+    EXPECT_EQ(disk.busy_channel_time().micros, 40);
+}
+
+TEST(SimResource, IdleHookFiresWhenAChannelFreesWithEmptyQueue) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    std::vector<std::int64_t> idle_at;
+    disk.set_idle_hook([&] { idle_at.push_back(q.now().micros); });
+    disk.submit(fixed_job(us(10), done, q));
+    disk.submit(fixed_job(us(5), done, q));
+    while (q.run_one()) {
+    }
+    // Not at t=10 (a job was waiting) — only at t=15 when the queue is empty.
+    EXPECT_EQ(idle_at, (std::vector<std::int64_t>{15}));
+}
+
+TEST(SimResource, ObserverSeesTheOldBusyCount) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::size_t> observed;
+    disk.set_observer([&] { observed.push_back(disk.busy_channels()); });
+    std::vector<std::int64_t> done;
+    disk.submit(fixed_job(us(10), done, q));
+    while (q.run_one()) {
+    }
+    // Before start: 0 busy; before completion: 1 busy.
+    EXPECT_EQ(observed, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SimResource, ZeroChannelsRejected) {
+    EventQueue q;
+    EXPECT_THROW(SimResource(q, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jaws::util
