@@ -20,6 +20,9 @@ namespace jaws::bench {
 /// Baseline engine configuration used by every experiment.
 inline core::EngineConfig base_config() {
     core::EngineConfig config;  // defaults are already paper-scale
+    // Benches report real policy overhead (Table I); tests keep the
+    // deterministic virtual tick default.
+    config.cache.wall_clock_overhead = true;
     return config;
 }
 

@@ -1,22 +1,65 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + full test suite, optionally under ASan/UBSan,
-# plus a deterministic fault-sweep smoke run.
+# Tier-1 verification: build + full test suite, optionally under sanitizers,
+# plus a deterministic fault-sweep smoke run and the static gates.
 #
 #   scripts/check.sh            # plain RelWithDebInfo build + ctest + smoke
 #   scripts/check.sh --asan     # same, built with address+UB sanitizers
+#   scripts/check.sh --tsan     # same, built with the thread sanitizer
+#   scripts/check.sh --tidy     # static gates only: determinism lint +
+#                               # clang-tidy over compile_commands.json
 #   scripts/check.sh --fast     # skip the sanitizer-unfriendly smoke run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=default
 smoke=1
+tidy=0
 for arg in "$@"; do
     case "$arg" in
         --asan) preset=asan-ubsan ;;
+        --tsan) preset=tsan ;;
+        --tidy) tidy=1 ;;
         --fast) smoke=0 ;;
-        *) echo "usage: $0 [--asan] [--fast]" >&2; exit 2 ;;
+        *) echo "usage: $0 [--asan|--tsan|--tidy] [--fast]" >&2; exit 2 ;;
     esac
 done
+
+echo "== determinism lint =="
+python3 scripts/lint_determinism.py --self-test
+python3 scripts/lint_determinism.py
+
+if [[ "$tidy" == 1 ]]; then
+    echo "== configure (default, for compile_commands.json) =="
+    cmake --preset default
+
+    command -v clang-tidy >/dev/null 2>&1 || {
+        echo "check.sh --tidy: clang-tidy not found on PATH" >&2
+        echo "(CI installs it; locally: apt-get install clang-tidy)" >&2
+        exit 3
+    }
+
+    # Cache: skip the run when nothing that feeds clang-tidy has changed.
+    # CI persists build/tidy.stamp keyed the same way.
+    stamp_file=build/tidy.stamp
+    stamp="$( (clang-tidy --version; cat .clang-tidy;
+               find src -type f \( -name '*.h' -o -name '*.cpp' \) -print0 |
+                   sort -z | xargs -0 cat) | sha256sum | cut -d' ' -f1)"
+    if [[ -f "$stamp_file" && "$(cat "$stamp_file")" == "$stamp" ]]; then
+        echo "== clang-tidy: cached clean run ($stamp) =="
+        exit 0
+    fi
+
+    echo "== clang-tidy (zero-warnings gate over src/) =="
+    mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -p build -quiet "${tidy_sources[@]}"
+    else
+        clang-tidy -p build --quiet "${tidy_sources[@]}"
+    fi
+    echo "$stamp" > "$stamp_file"
+    echo "== clang-tidy clean =="
+    exit 0
+fi
 
 echo "== configure ($preset) =="
 cmake --preset "$preset"
@@ -29,7 +72,10 @@ ctest --preset "$preset" -j "$(nproc)"
 
 if [[ "$smoke" == 1 ]]; then
     build_dir=build
-    [[ "$preset" == asan-ubsan ]] && build_dir=build-asan
+    case "$preset" in
+        asan-ubsan) build_dir=build-asan ;;
+        tsan) build_dir=build-tsan ;;
+    esac
     echo "== fault sweep smoke (determinism) =="
     "$build_dir/bench/fault_sweep" 10 > /tmp/jaws_fault_sweep_a.txt
     "$build_dir/bench/fault_sweep" 10 > /tmp/jaws_fault_sweep_b.txt

@@ -1,0 +1,487 @@
+#!/usr/bin/env python3
+"""Determinism lint for the JAWS deterministic core.
+
+Every scheduling/accounting result in this repository must be
+bit-reproducible: the golden-pinned serial_equivalence_test, the Eq. 1
+cost-model shapes, and the seeded fault schedules all assume that nothing in
+the decision path reads ambient state. This lint statically bans the three
+leak classes that have actually bitten us, inside
+src/{core,sched,storage,cache,field}:
+
+  wall-clock            std::chrono::{system,steady,high_resolution,...}_clock,
+                        time()/clock()/gettimeofday()/clock_gettime() --
+                        wall time must come only from the virtual clock
+                        (util::SimTime) or the allowlisted util::wall_clock_ns
+                        bench utility.
+  ambient-random        rand()/srand(), std::random_device, and
+                        default-constructed (unseeded) standard engines --
+                        randomness must flow from an explicit seed
+                        (util/rng.h).
+  unordered-iteration   range-for over a std::unordered_map/unordered_set
+                        declared in the same file -- hash-order iteration in
+                        a decision path makes results depend on the standard
+                        library's bucket layout. Membership tests and finds
+                        are fine; only iteration is flagged.
+
+Escape hatch: a line (or the line directly above it) carrying
+    // jaws-lint: allow(<rule>)
+suppresses that rule there. Every allow is expected to carry a justification
+comment; provably order-independent scans (strict-total-order argmins,
+sort-normalised collections) are the intended use.
+
+Usage:
+    scripts/lint_determinism.py [--root REPO_ROOT]   # lint the tree
+    scripts/lint_determinism.py --self-test          # lint the linter
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+LINTED_DIRS = [
+    os.path.join("src", d) for d in ("core", "sched", "storage", "cache", "field")
+]
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+
+ALLOW_RE = re.compile(r"//\s*jaws-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock"
+    r"|file_clock|utc_clock|tai_clock|gps_clock)"
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0|&|\))"
+    r"|\bclock\s*\(\s*\)"
+    r"|\b(?:localtime|gmtime|mktime)\s*\("
+)
+
+AMBIENT_RANDOM_RE = re.compile(
+    r"std::random_device"
+    r"|\bsrand\s*\("
+    r"|\brand\s*\(\s*\)"
+    # Default-constructed (unseeded) standard engines: `std::mt19937 gen;`
+    # or `std::mt19937 gen{};`. Seeded forms `gen(seed)` / `gen{seed}` pass.
+    r"|\b(?:std::)?(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+    r"|ranlux24|ranlux48|ranlux24_base|ranlux48_base|knuth_b)\s+\w+\s*(?:;|\{\s*\})"
+)
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving offsets and
+    newlines so line numbers survive. Keeps `// jaws-lint:` directives out of
+    pattern matching (they are read from the raw text separately)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules_by_line(raw_lines: list[str]) -> dict[int, set[str]]:
+    """Rules allowed per 1-based line. A directive covers its own line and
+    extends through any directly following comment-only/blank lines (the
+    justification text) to the first code line after it, so multi-line
+    justifications remain attached to the statement they cover."""
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        allowed.setdefault(lineno, set()).update(rules)
+        cursor = lineno + 1
+        while cursor <= len(raw_lines):
+            allowed.setdefault(cursor, set()).update(rules)
+            stripped = raw_lines[cursor - 1].strip()
+            if stripped != "" and not stripped.startswith("//"):
+                break  # first code line reached: coverage ends here
+            cursor += 1
+    return allowed
+
+
+def unordered_container_names(code: str) -> set[str]:
+    """Names of variables/members declared with an unordered container type
+    in this file. Handles multi-line declarations by tracking template
+    angle-bracket depth from the `unordered_xxx<` occurrence."""
+    names: set[str] = set()
+    for m in UNORDERED_DECL_RE.finditer(code):
+        i = m.end()  # just past '<'
+        depth = 1
+        n = len(code)
+        while i < n and depth > 0:
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+            i += 1
+        # Next identifier after the closing '>' is the declared name, unless
+        # this is a nested type (e.g. a template argument) or a return type;
+        # those are filtered by requiring a declarator-ish terminator.
+        tail = code[i:i + 400]
+        dm = re.match(r"\s*&?\s*([A-Za-z_][A-Za-z0-9_]*)\s*(;|=|\{|\[)", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def find_range_for_container(code: str, start: int) -> tuple[str, int] | None:
+    """Given the offset of `for`, if it is a range-for, return the container
+    expression text and the offset of the ':' separator."""
+    i = code.find("(", start)
+    if i < 0:
+        return None
+    depth = 1
+    j = i + 1
+    colon = -1
+    n = len(code)
+    while j < n and depth > 0:
+        c = code[j]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif c == ";" and depth == 1:
+            return None  # classic three-clause for
+        elif c == ":" and depth == 1 and colon < 0:
+            # Skip '::' scope operators.
+            if j + 1 < n and code[j + 1] == ":":
+                j += 2
+                continue
+            if j > 0 and code[j - 1] == ":":
+                j += 1
+                continue
+            colon = j
+        j += 1
+    if colon < 0 or depth != 0:
+        return None
+    return code[colon + 1:j - 1], colon
+
+
+def lint_file(path: str, display_path: str,
+              extra_container_names: set[str] | None = None) -> list[Violation]:
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    allowed = allowed_rules_by_line(raw_lines)
+    code = strip_comments_and_strings(raw)
+
+    def line_of(offset: int) -> int:
+        return code.count("\n", 0, offset) + 1
+
+    def flag(rule: str, offset: int, message: str, out: list[Violation]) -> None:
+        lineno = line_of(offset)
+        if rule in allowed.get(lineno, set()):
+            return
+        out.append(Violation(display_path, lineno, rule, message))
+
+    violations: list[Violation] = []
+
+    for m in WALL_CLOCK_RE.finditer(code):
+        flag("wall-clock", m.start(),
+             f"wall-clock read `{m.group(0).strip()}` in deterministic core "
+             "(use util::SimTime / an injected tick source)", violations)
+
+    for m in AMBIENT_RANDOM_RE.finditer(code):
+        flag("ambient-random", m.start(),
+             f"ambient randomness `{m.group(0).strip()}` in deterministic core "
+             "(seed explicitly via util/rng.h)", violations)
+
+    container_names = unordered_container_names(code)
+    if extra_container_names:
+        container_names |= extra_container_names
+    if container_names:
+        for m in RANGE_FOR_RE.finditer(code):
+            hit = find_range_for_container(code, m.start())
+            if hit is None:
+                continue
+            expr, colon = hit
+            idents = IDENT_RE.findall(expr)
+            if not idents:
+                continue
+            name = idents[-1]  # e.g. `resident_`, `state.queues_`
+            if name in container_names:
+                flag("unordered-iteration", m.start(),
+                     f"iteration over unordered container `{name}` in a "
+                     "decision path (hash order is not deterministic across "
+                     "standard libraries; sort first or justify with an "
+                     "allow)", violations)
+    return violations
+
+
+def lint_tree(root: str) -> list[Violation]:
+    violations: list[Violation] = []
+    for rel_dir in LINTED_DIRS:
+        base = os.path.join(root, rel_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                # A .cpp iterating members declared in its paired header
+                # (foo.cpp <- foo.h) must still be caught: merge the
+                # header's container names into the implementation's scan.
+                extra: set[str] = set()
+                stem = os.path.splitext(path)[0]
+                if name.endswith((".cpp", ".cc")):
+                    for header_ext in (".h", ".hpp"):
+                        header = stem + header_ext
+                        if os.path.isfile(header):
+                            with open(header, "r", encoding="utf-8",
+                                      errors="replace") as hf:
+                                extra |= unordered_container_names(
+                                    strip_comments_and_strings(hf.read()))
+                violations.extend(
+                    lint_file(path, os.path.relpath(path, root), extra))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+# --------------------------- self-test fixtures ---------------------------
+
+SELFTEST_CASES = [
+    # (filename, source, expected rules in file order)
+    ("bad_clock.cpp",
+     """#include <chrono>
+void f() {
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::system_clock::now();
+    (void)t0; (void)t1;
+}
+""",
+     ["wall-clock", "wall-clock"]),
+    ("bad_ctime.cpp",
+     """#include <ctime>
+long f() { return time(nullptr) + clock(); }
+""",
+     ["wall-clock", "wall-clock"]),
+    ("ok_simtime.cpp",
+     """// sim_time/next_time must not trip the `time(` pattern.
+struct G { double sim_time(unsigned t) const { return t * 0.1; } };
+double f(const G& g) { return g.sim_time(3); }
+""",
+     []),
+    ("bad_random.cpp",
+     """#include <random>
+#include <cstdlib>
+int f() {
+    std::random_device rd;
+    std::mt19937 gen;
+    srand(42);
+    return rand() + static_cast<int>(gen()) + static_cast<int>(rd());
+}
+""",
+     ["ambient-random", "ambient-random", "ambient-random", "ambient-random"]),
+    ("ok_seeded.cpp",
+     """#include <random>
+unsigned f(unsigned seed) {
+    std::mt19937 gen(seed);       // seeded: fine
+    std::mt19937_64 g2{seed};     // seeded: fine
+    return static_cast<unsigned>(gen() + g2());
+}
+""",
+     []),
+    ("bad_unordered.cpp",
+     """#include <unordered_map>
+int f() {
+    std::unordered_map<int, int> counts;
+    int total = 0;
+    for (const auto& [k, v] : counts) total += v;
+    return total;
+}
+""",
+     ["unordered-iteration"]),
+    ("ok_unordered_lookup.cpp",
+     """#include <unordered_map>
+#include <vector>
+int f(int key) {
+    std::unordered_map<int, int> counts;
+    std::vector<int> order;
+    for (int v : order) key += v;          // vector iteration: fine
+    auto it = counts.find(key);            // lookup: fine
+    return it == counts.end() ? 0 : it->second;
+}
+""",
+     []),
+    ("ok_allowlisted.cpp",
+     """#include <chrono>
+#include <unordered_map>
+int f() {
+    // jaws-lint: allow(wall-clock) -- measurement sink, never fed back.
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+    std::unordered_map<int, int> counts;
+    int total = 0;
+    // jaws-lint: allow(unordered-iteration) -- order-insensitive sum... almost.
+    for (const auto& [k, v] : counts) total += v;
+    return total;
+}
+""",
+     []),
+    ("bad_multiline_decl.cpp",
+     """#include <unordered_map>
+#include <cstdint>
+struct Hash { unsigned long operator()(int) const { return 0; } };
+struct S {
+    std::unordered_map<int,
+                       long,
+                       Hash>
+        resident_;
+    long sum() const {
+        long s = 0;
+        for (const auto& [k, v] : resident_) s += v;
+        return s;
+    }
+};
+""",
+     ["unordered-iteration"]),
+    ("ok_strings_comments.cpp",
+     """// std::chrono::steady_clock in a comment is fine.
+const char* f() { return "std::random_device rand( time( "; }
+""",
+     []),
+    ("ok_multiline_justification.cpp",
+     """#include <unordered_map>
+int f() {
+    std::unordered_map<int, int> counts;
+    int total = 0;
+    // jaws-lint: allow(unordered-iteration) -- a justification that
+    // spans several comment lines must keep the directive attached
+    // to the statement below it.
+    for (const auto& [k, v] : counts) total += v;
+    return total;
+}
+""",
+     []),
+    ("paired.h",
+     """#pragma once
+#include <unordered_map>
+struct Paired {
+    long sum() const;
+    std::unordered_map<int, long> residents_;
+};
+""",
+     []),
+    ("paired.cpp",
+     """#include "paired.h"
+long Paired::sum() const {
+    long s = 0;
+    for (const auto& [k, v] : residents_) s += v;  // member from the header
+    return s;
+}
+""",
+     ["unordered-iteration"]),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="jaws_lint_selftest_") as tmp:
+        # Mirror a linted subtree so lint_tree picks the fixtures up.
+        fixture_dir = os.path.join(tmp, "src", "core")
+        os.makedirs(fixture_dir)
+        for name, source, _expected in SELFTEST_CASES:
+            with open(os.path.join(fixture_dir, name), "w", encoding="utf-8") as f:
+                f.write(source)
+        found = lint_tree(tmp)
+        by_file: dict[str, list[Violation]] = {}
+        for v in found:
+            by_file.setdefault(os.path.basename(v.path), []).append(v)
+        for name, _source, expected in SELFTEST_CASES:
+            got = [v.rule for v in by_file.get(name, [])]
+            if got != expected:
+                failures += 1
+                print(f"SELF-TEST FAIL {name}: expected {expected}, got {got}",
+                      file=sys.stderr)
+                for v in by_file.get(name, []):
+                    print(f"    {v}", file=sys.stderr)
+    if failures == 0:
+        print(f"lint_determinism self-test: {len(SELFTEST_CASES)} fixtures ok")
+        return 0
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the script's parent repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own fixture suite and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"lint_determinism: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    violations = lint_tree(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\nlint_determinism: {len(violations)} violation(s). "
+              "Fix them or annotate with `// jaws-lint: allow(<rule>)` plus "
+              "a justification.", file=sys.stderr)
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,27 +1,29 @@
 #include "cache/buffer_cache.h"
 
+#include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <utility>
+#include <vector>
 
 namespace jaws::cache {
 
 namespace {
-/// RAII timer adding elapsed wall nanoseconds to a counter on destruction.
+/// RAII timer adding elapsed ticks to a counter on destruction. With no
+/// tick source installed it charges exactly one virtual tick per timed
+/// section, keeping overhead accounting deterministic.
 class OverheadTimer {
   public:
-    explicit OverheadTimer(std::uint64_t& sink) noexcept
-        : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-    ~OverheadTimer() {
-        sink_ += static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - start_)
-                .count());
-    }
+    OverheadTimer(std::uint64_t& sink, TickSource ticks) noexcept
+        : sink_(sink), ticks_(ticks), start_(ticks != nullptr ? ticks() : 0) {}
+    ~OverheadTimer() { sink_ += ticks_ != nullptr ? ticks_() - start_ : 1; }
+
+    OverheadTimer(const OverheadTimer&) = delete;
+    OverheadTimer& operator=(const OverheadTimer&) = delete;
 
   private:
     std::uint64_t& sink_;
-    std::chrono::steady_clock::time_point start_;
+    TickSource ticks_;
+    std::uint64_t start_;
 };
 }  // namespace
 
@@ -38,7 +40,7 @@ bool BufferCache::lookup(const storage::AtomId& atom) {
         return false;
     }
     ++stats_.hits;
-    OverheadTimer timer(stats_.policy_overhead_ns);
+    OverheadTimer timer(stats_.policy_overhead_ns, ticks_);
     policy_->on_access(atom);
     return true;
 }
@@ -52,7 +54,7 @@ std::optional<storage::AtomId> BufferCache::insert(
     }
     std::optional<storage::AtomId> evicted;
     if (resident_.size() >= capacity_) {
-        OverheadTimer timer(stats_.policy_overhead_ns);
+        OverheadTimer timer(stats_.policy_overhead_ns, ticks_);
         const storage::AtomId victim = policy_->pick_victim();
         policy_->on_evict(victim);
         const auto erased = resident_.erase(victim);
@@ -62,7 +64,7 @@ std::optional<storage::AtomId> BufferCache::insert(
         evicted = victim;
     }
     resident_.emplace(atom, std::move(payload));
-    OverheadTimer timer(stats_.policy_overhead_ns);
+    OverheadTimer timer(stats_.policy_overhead_ns, ticks_);
     policy_->on_insert(atom);
     return evicted;
 }
@@ -78,12 +80,20 @@ std::shared_ptr<const field::VoxelBlock> BufferCache::payload(
 }
 
 void BufferCache::run_boundary() {
-    OverheadTimer timer(stats_.policy_overhead_ns);
+    OverheadTimer timer(stats_.policy_overhead_ns, ticks_);
     policy_->on_run_boundary();
 }
 
 void BufferCache::clear() {
-    for (const auto& [atom, payload] : resident_) policy_->on_evict(atom);
+    // Notify the policy in key order, not hash order: eviction callbacks
+    // mutate policy state (e.g. LRU-K's retained-history FIFO), so the
+    // notification order must not depend on the hash table's layout.
+    std::vector<storage::AtomId> atoms;
+    atoms.reserve(resident_.size());
+    // jaws-lint: allow(unordered-iteration) -- order normalised by the sort below.
+    for (const auto& [atom, payload] : resident_) atoms.push_back(atom);
+    std::sort(atoms.begin(), atoms.end());
+    for (const storage::AtomId& atom : atoms) policy_->on_evict(atom);
     resident_.clear();
 }
 

@@ -3,8 +3,12 @@
 // Mirrors the paper's experimental setup (Sec. VI): a fixed-capacity cache of
 // whole atoms managed outside the database, with a pluggable replacement
 // policy. Capacity is counted in atoms (the production 2 GB cache holds 256
-// 8 MB atoms). The cache measures the wall-clock overhead of every policy
-// call, which is what Table I's "Overhead/Qry" column reports.
+// 8 MB atoms). The cache times every policy call through an injected tick
+// source: by default a deterministic virtual counter (one tick per timed
+// section), so cache accounting is bit-reproducible; benches that want
+// Table I's real "Overhead/Qry" column inject util::wall_clock_ns via
+// set_tick_source (the only sanctioned wall-clock path, see
+// scripts/lint_determinism.py).
 #pragma once
 
 #include <cstdint>
@@ -23,7 +27,10 @@ struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
-    std::uint64_t policy_overhead_ns = 0;  ///< Wall time spent inside the policy.
+    /// Ticks spent inside the policy: wall nanoseconds when a wall-clock
+    /// tick source is installed, else deterministic virtual ticks (one per
+    /// policy call section).
+    std::uint64_t policy_overhead_ns = 0;
 
     double hit_rate() const noexcept {
         const std::uint64_t total = hits + misses;
@@ -31,11 +38,21 @@ struct CacheStats {
     }
 };
 
+/// Monotonic tick counter for overhead timing (see util::wall_clock_ns for
+/// the wall-clock instance). nullptr selects the deterministic virtual
+/// counter.
+using TickSource = std::uint64_t (*)();
+
 /// Fixed-capacity cache of atoms with pluggable replacement.
 class BufferCache {
   public:
     /// `capacity_atoms` must be >= 1; the cache takes ownership of `policy`.
     BufferCache(std::size_t capacity_atoms, std::unique_ptr<ReplacementPolicy> policy);
+
+    /// Install the tick source used to time policy calls (nullptr restores
+    /// the deterministic virtual counter). Benches inject
+    /// util::wall_clock_ns here; reproducible runs keep the default.
+    void set_tick_source(TickSource ticks) noexcept { ticks_ = ticks; }
 
     /// Probe for `atom`. On a hit, notifies the policy and returns true.
     /// On a miss returns false (caller performs the I/O and calls insert).
@@ -74,6 +91,7 @@ class BufferCache {
 
   private:
     std::size_t capacity_;
+    TickSource ticks_ = nullptr;  ///< nullptr = deterministic virtual ticks.
     std::unique_ptr<ReplacementPolicy> policy_;
     std::unordered_map<storage::AtomId, std::shared_ptr<const field::VoxelBlock>,
                        storage::AtomIdHash>

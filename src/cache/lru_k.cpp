@@ -37,11 +37,19 @@ storage::AtomId LruKPolicy::pick_victim() {
     const storage::AtomId* victim = nullptr;
     std::uint64_t best_k = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t best_recent = std::numeric_limits<std::uint64_t>::max();
+    // jaws-lint: allow(unordered-iteration) -- the minimised key
+    // (kth_ref, recent, atom id) is a strict total order over residents
+    // (recency ticks are unique), so the scan's result is independent of
+    // the hash table's iteration order.
     for (const auto& atom : resident_) {
         const History& h = history_.at(atom);
         const std::uint64_t kd = kth_ref(h);
         const std::uint64_t recent = h.refs.front();
-        if (kd < best_k || (kd == best_k && recent < best_recent)) {
+        const bool better =
+            victim == nullptr || kd < best_k ||
+            (kd == best_k &&
+             (recent < best_recent || (recent == best_recent && atom < *victim)));
+        if (better) {
             best_k = kd;
             best_recent = recent;
             victim = &atom;

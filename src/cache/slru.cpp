@@ -57,10 +57,15 @@ void SlruPolicy::on_run_boundary() {
     // promotes the most frequently accessed atoms").
     std::vector<std::pair<std::uint64_t, storage::AtomId>> ranked;
     ranked.reserve(slots_.size());
+    // jaws-lint: allow(unordered-iteration) -- the sort below imposes a total
+    // order (count desc, atom id asc), so hash layout cannot leak into the
+    // promotion cutoff.
     for (const auto& [atom, slot] : slots_)
         if (slot.run_accesses > 0) ranked.emplace_back(slot.run_accesses, atom);
-    std::sort(ranked.begin(), ranked.end(),
-              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;  // break count ties deterministically
+    });
 
     const std::size_t take = std::min(protected_cap_, ranked.size());
     // Demote current protected members not re-promoted this run.
@@ -87,6 +92,7 @@ void SlruPolicy::on_run_boundary() {
             slot.is_protected = true;
         }
     }
+    // jaws-lint: allow(unordered-iteration) -- order-insensitive reset.
     for (auto& [atom, slot] : slots_) slot.run_accesses = 0;
 }
 

@@ -27,6 +27,10 @@ storage::AtomId UrcPolicy::pick_victim() {
     double best_atom = std::numeric_limits<double>::max();
     std::uint64_t best_touch = std::numeric_limits<std::uint64_t>::max();
     std::unordered_map<std::uint32_t, double> step_mean;
+    // jaws-lint: allow(unordered-iteration) -- the minimised key
+    // (step mean, atom utility, last touch, atom id) is a strict total
+    // order over residents (touch ticks are unique), so the winner does
+    // not depend on hash iteration order.
     for (const auto& atom : resident_) {
         const auto found = step_mean.find(atom.timestep);
         const double mean = found != step_mean.end()
@@ -36,9 +40,11 @@ storage::AtomId UrcPolicy::pick_victim() {
         const double own = oracle_.atom_utility(atom);
         const std::uint64_t touch = last_touch_.at(atom);
         const bool better =
-            mean < best_step ||
+            victim == nullptr || mean < best_step ||
             (mean == best_step &&
-             (own < best_atom || (own == best_atom && touch < best_touch)));
+             (own < best_atom ||
+              (own == best_atom &&
+               (touch < best_touch || (touch == best_touch && atom < *victim)))));
         if (better) {
             best_step = mean;
             best_atom = own;

@@ -1,12 +1,15 @@
 #include "core/cluster.h"
 
 #include <algorithm>
-#include <future>
+#include <exception>
 #include <stdexcept>
 #include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "core/engine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace jaws::core {
@@ -73,6 +76,44 @@ std::vector<workload::Workload> TurbulenceCluster::partition(
 
 namespace {
 
+/// One node engine's result: its report plus, if it died mid-run, the share
+/// it left unfinished.
+struct NodeRun {
+    RunReport report;
+    workload::Workload leftover;
+};
+
+/// Mutex-guarded sink the parallel node engines write into. Results land in
+/// per-node slots so the aggregation below reads them in node order
+/// regardless of completion order; the first worker exception is rethrown
+/// on take() (matching the old future-based transport).
+class NodeRunCollector {
+  public:
+    explicit NodeRunCollector(std::size_t nodes) : runs_(nodes) {}
+
+    void set(std::size_t node, NodeRun run) {
+        util::MutexLock lock(mu_);
+        runs_[node] = std::move(run);
+    }
+
+    void record_error(std::exception_ptr error) noexcept {
+        util::MutexLock lock(mu_);
+        if (error_ == nullptr) error_ = std::move(error);
+    }
+
+    /// Call once, after every worker has finished.
+    std::vector<NodeRun> take() {
+        util::MutexLock lock(mu_);
+        if (error_ != nullptr) std::rethrow_exception(error_);
+        return std::move(runs_);
+    }
+
+  private:
+    util::Mutex mu_;
+    std::vector<NodeRun> runs_ GUARDED_BY(mu_);
+    std::exception_ptr error_ GUARDED_BY(mu_);
+};
+
 /// The portion of `part` that `outcomes` did not complete (a dead node's
 /// unfinished share), with jobs re-sequenced for a replica re-run.
 workload::Workload unfinished_part(const workload::Workload& part,
@@ -109,27 +150,29 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
     for (const storage::NodeDownEvent& ev : config_.node.faults.node_down)
         if (ev.at < death[ev.node]) death[ev.node] = ev.at;
 
-    struct NodeRun {
-        RunReport report;
-        workload::Workload leftover;  ///< Unfinished share of a dead node.
-    };
-
     util::ThreadPool pool(std::min<std::size_t>(config_.nodes, 8));
-    std::vector<std::future<NodeRun>> futures;
-    futures.reserve(parts.size());
+    NodeRunCollector collector(parts.size());
     for (std::size_t n = 0; n < parts.size(); ++n) {
-        futures.push_back(pool.submit([this, &parts, &death, n]() -> NodeRun {
-            NodeRun out;
-            const workload::Workload& part = parts[n];
-            if (part.jobs.empty()) return out;
-            EngineConfig cfg = config_.node;
-            cfg.halt_at = death[n];
-            Engine engine(cfg);
-            out.report = engine.run(part);
-            if (out.report.halted) out.leftover = unfinished_part(part, engine.outcomes());
-            return out;
-        }));
+        pool.submit([this, &parts, &death, &collector, n] {
+            try {
+                NodeRun out;
+                const workload::Workload& part = parts[n];
+                if (!part.jobs.empty()) {
+                    EngineConfig cfg = config_.node;
+                    cfg.halt_at = death[n];
+                    Engine engine(cfg);
+                    out.report = engine.run(part);
+                    if (out.report.halted)
+                        out.leftover = unfinished_part(part, engine.outcomes());
+                }
+                collector.set(n, std::move(out));
+            } catch (...) {
+                collector.record_error(std::current_exception());
+            }
+        });
     }
+    pool.wait_idle();
+    std::vector<NodeRun> node_runs = collector.take();
 
     ClusterReport report;
     std::size_t total_parts = 0;
@@ -154,8 +197,8 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
     // node's busy-until time (in the shared virtual timeline).
     std::vector<util::SimTime> busy_until(config_.nodes, util::SimTime::zero());
     std::vector<workload::Workload> leftovers(config_.nodes);
-    for (std::size_t n = 0; n < futures.size(); ++n) {
-        NodeRun run = futures[n].get();
+    for (std::size_t n = 0; n < node_runs.size(); ++n) {
+        NodeRun run = std::move(node_runs[n]);
         report.makespan = std::max(report.makespan, run.report.makespan);
         accumulate(run.report);
         if (!parts[n].jobs.empty())

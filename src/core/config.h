@@ -34,6 +34,12 @@ struct CacheSpec {
     double slru_protected_fraction = 0.05;
     unsigned lru_k = 2;
     double twoq_in_fraction = 0.25;  ///< A1in share for the 2Q policy.
+
+    /// Measure policy overhead in real wall-clock nanoseconds
+    /// (util::wall_clock_ns) instead of deterministic virtual ticks.
+    /// Benches reporting Table I's "Overhead/Qry" column turn this on;
+    /// reproducible runs (tests, golden fixtures) keep it off.
+    bool wall_clock_overhead = false;
 };
 
 /// Scheduler selection and parameters.

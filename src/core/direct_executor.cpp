@@ -5,6 +5,7 @@
 #include <map>
 
 #include "cache/lru.h"
+#include "util/wallclock.h"
 
 namespace jaws::core {
 
@@ -13,7 +14,9 @@ DirectExecutor::DirectExecutor(const EngineConfig& config)
                                     /*io_channels=*/1,
                                     /*materialize_data=*/true, config.faults}),
       cache_(config.cache.capacity_atoms, std::make_unique<cache::LruPolicy>()),
-      db_(config.grid, config.compute) {}
+      db_(config.grid, config.compute) {
+    if (config.cache.wall_clock_overhead) cache_.set_tick_source(util::wall_clock_ns);
+}
 
 DirectResult DirectExecutor::evaluate(std::uint32_t timestep,
                                       const std::vector<field::Vec3>& positions,

@@ -13,6 +13,7 @@
 #include "sched/liferaft.h"
 #include "sched/noshare.h"
 #include "util/logging.h"
+#include "util/wallclock.h"
 
 namespace jaws::core {
 
@@ -35,6 +36,7 @@ Engine::Engine(const EngineConfig& config)
       cpu_res_(events_, config.compute_workers, kPriService) {
     config_.estimates.atoms_per_step = config_.grid.atoms_per_step();
     cache_ = std::make_unique<cache::BufferCache>(config.cache.capacity_atoms, make_policy());
+    if (config_.cache.wall_clock_overhead) cache_->set_tick_source(util::wall_clock_ns);
     scheduler_ = make_scheduler();
     if (config_.prefetch.enabled) {
         prefetcher_ = std::make_unique<sched::TrajectoryPrefetcher>(

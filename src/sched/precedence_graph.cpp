@@ -150,6 +150,9 @@ bool PrecedenceGraph::would_deadlock(const Node& a, const Node& b,
     // Contract gating components (existing edges + the proposed ones) and
     // look for a cycle in the condensed precedence graph.
     Dsu dsu;
+    // jaws-lint: allow(unordered-iteration) -- union-find component
+    // membership (and hence the cycle-existence answer below) is invariant
+    // to the order edges are united in; only representative *naming* varies.
     for (const auto& [id, node] : nodes_) {
         for (const workload::QueryId pid : node.partners)
             if (nodes_.contains(pid)) dsu.unite(id, pid);
@@ -177,6 +180,9 @@ bool PrecedenceGraph::would_deadlock(const Node& a, const Node& b,
 
     // Iterative DFS cycle detection (colors: 0 white, 1 gray, 2 black).
     std::unordered_map<workload::QueryId, int> color;
+    // jaws-lint: allow(unordered-iteration) -- pure existence query: whether
+    // a back edge exists does not depend on which component the DFS visits
+    // first, and no state escapes this function besides the bool.
     for (const auto& [start, ignored] : adjacency) {
         if (color[start] != 0) continue;
         std::vector<std::pair<workload::QueryId, std::size_t>> stack{{start, 0}};
@@ -339,9 +345,15 @@ std::vector<workload::QueryId> PrecedenceGraph::on_query_done(workload::QueryId 
 
 std::vector<workload::QueryId> PrecedenceGraph::force_promote_oldest_ready() {
     Node* oldest = nullptr;
+    // jaws-lint: allow(unordered-iteration) -- minimised key
+    // (visible_tick, id) is a strict total order (ticks are unique), so the
+    // promoted query is independent of hash iteration order.
     for (auto& [id, node] : nodes_) {
         if (node.state != QueryState::kReady) continue;
-        if (oldest == nullptr || node.visible_tick < oldest->visible_tick) oldest = &node;
+        const bool older = oldest == nullptr ||
+                           node.visible_tick < oldest->visible_tick ||
+                           (node.visible_tick == oldest->visible_tick && id < oldest->id);
+        if (older) oldest = &node;
     }
     if (oldest == nullptr) return {};
     oldest->state = QueryState::kQueue;
@@ -352,6 +364,8 @@ std::vector<workload::QueryId> PrecedenceGraph::force_promote_oldest_ready() {
 
 bool PrecedenceGraph::check_invariants() const {
     std::size_t ready = 0;
+    // jaws-lint: allow(unordered-iteration) -- read-only validation; the
+    // conjunction of per-node checks is order-independent.
     for (const auto& [id, node] : nodes_) {
         if (node.state == QueryState::kReady) ++ready;
         for (const workload::QueryId pid : node.partners) {

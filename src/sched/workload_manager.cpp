@@ -154,7 +154,15 @@ void WorkloadManager::set_alpha(double alpha) {
 void WorkloadManager::rebuild_index() {
     order_.clear();
     steps_.clear();
-    for (auto& [atom, q] : queues_) index_insert(atom, q);
+    // Rebuild in atom-key order: StepAgg sums doubles, and floating-point
+    // accumulation order must not depend on the hash table's layout for the
+    // aggregates to be bit-reproducible across platforms.
+    std::vector<storage::AtomId> atoms;
+    atoms.reserve(queues_.size());
+    // jaws-lint: allow(unordered-iteration) -- order normalised by the sort below.
+    for (auto& [atom, q] : queues_) atoms.push_back(atom);
+    std::sort(atoms.begin(), atoms.end());
+    for (const storage::AtomId& atom : atoms) index_insert(atom, queues_.at(atom));
 }
 
 }  // namespace jaws::sched

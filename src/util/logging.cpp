@@ -3,10 +3,18 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace jaws::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Serialises sink swaps against emission so a record never reaches a sink
+/// that was uninstalled mid-format, and concurrent lines never interleave.
+Mutex g_sink_mu;
+LogSink g_sink GUARDED_BY(g_sink_mu) = nullptr;
 
 const char* level_name(LogLevel level) noexcept {
     switch (level) {
@@ -24,6 +32,11 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_o
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) noexcept {
+    MutexLock lock(g_sink_mu);
+    g_sink = sink;
+}
+
 void logf(LogLevel level, std::string_view tag, const char* fmt, ...) {
     if (level < log_level()) return;
     char message[1024];
@@ -31,6 +44,11 @@ void logf(LogLevel level, std::string_view tag, const char* fmt, ...) {
     va_start(args, fmt);
     std::vsnprintf(message, sizeof message, fmt, args);
     va_end(args);
+    MutexLock lock(g_sink_mu);
+    if (g_sink != nullptr) {
+        g_sink(level, tag, message);
+        return;
+    }
     std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level), static_cast<int>(tag.size()),
                  tag.data(), message);
 }

@@ -18,12 +18,21 @@ void set_log_level(LogLevel level) noexcept;
 /// Current global threshold.
 LogLevel log_level() noexcept;
 
-/// printf-style log statement. `tag` names the emitting subsystem.
+/// printf-style log statement. `tag` names the emitting subsystem. Thread
+/// safe: concurrent calls never interleave within one emitted line.
 void logf(LogLevel level, std::string_view tag, const char* fmt, ...)
 #if defined(__GNUC__)
     __attribute__((format(printf, 3, 4)))
 #endif
     ;
+
+/// Receives fully formatted log records instead of the default stderr
+/// writer. Called with the logger's internal mutex held — keep sinks cheap
+/// and never log from inside one.
+using LogSink = void (*)(LogLevel level, std::string_view tag, std::string_view message);
+
+/// Install `sink` as the output target (nullptr restores stderr).
+void set_log_sink(LogSink sink) noexcept;
 
 }  // namespace jaws::util
 

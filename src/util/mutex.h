@@ -1,0 +1,84 @@
+// Annotated synchronisation primitives.
+//
+// Thin wrappers over std::mutex / std::condition_variable carrying the Clang
+// thread-safety attributes from util/thread_annotations.h, so that
+// -Wthread-safety can statically verify lock discipline on every structure
+// that uses them. std::mutex itself is not annotated as a capability by
+// libstdc++, hence the wrappers; they add no state and no overhead beyond
+// the underlying primitives.
+//
+// Idiom:
+//
+//   class Account {
+//       util::Mutex mu_;
+//       std::int64_t balance_ GUARDED_BY(mu_) = 0;
+//     public:
+//       void deposit(std::int64_t v) { util::MutexLock lock(mu_); balance_ += v; }
+//   };
+//
+// Condition waits use the predicate-free CondVar::wait(Mutex&) in a while
+// loop, so the predicate itself is evaluated in code the analysis can see
+// holds the mutex:
+//
+//   util::MutexLock lock(mu_);
+//   while (queue_.empty()) cv_.wait(mu_);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace jaws::util {
+
+class CondVar;
+
+/// A std::mutex annotated as a thread-safety capability.
+class CAPABILITY("mutex") Mutex {
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+/// RAII lock over Mutex (annotated std::lock_guard equivalent).
+class SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mu_;
+};
+
+/// Condition variable usable with Mutex.
+class CondVar {
+  public:
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+    /// Atomically releases `mu`, blocks, and reacquires `mu` before
+    /// returning. The caller must hold `mu` (checked by the analysis);
+    /// callers loop on their predicate around this call.
+    void wait(Mutex& mu) REQUIRES(mu) {
+        std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+        cv_.wait(inner);
+        inner.release();  // still locked: ownership returns to the caller
+    }
+
+  private:
+    std::condition_variable cv_;
+};
+
+}  // namespace jaws::util

@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// Wrappers over Clang's capability attributes (see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under Clang with
+// -Wthread-safety the compiler statically checks that every access to a
+// GUARDED_BY member happens with the named capability held; under any other
+// compiler the macros expand to nothing. The `werror` preset turns the
+// diagnostics fatal, making lock discipline a build-time contract rather
+// than a convention.
+//
+// Use together with util/mutex.h, which provides the annotated Mutex /
+// MutexLock / CondVar types these attributes bind to.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define JAWS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define JAWS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (e.g. a mutex type). `x` names the
+/// capability kind in diagnostics ("mutex", "role", ...).
+#define CAPABILITY(x) JAWS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY JAWS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only with capability `x` held.
+#define GUARDED_BY(x) JAWS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by capability `x`.
+#define PT_GUARDED_BY(x) JAWS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares a required lock ordering between capabilities.
+#define ACQUIRED_BEFORE(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define REQUIRES(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define ACQUIRE(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define RELEASE(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; first argument is the success value.
+#define TRY_ACQUIRE(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock prevention for non-reentrant locks).
+#define EXCLUDES(...) JAWS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define ASSERT_CAPABILITY(x) JAWS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) JAWS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function (e.g. unavoidable
+/// aliasing the analysis cannot see through). Use sparingly and justify.
+#define NO_THREAD_SAFETY_ANALYSIS \
+    JAWS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

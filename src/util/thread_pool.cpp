@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -24,19 +24,16 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-            if (queue_.empty()) {
-                if (stop_) return;
-                continue;
-            }
+            MutexLock lock(mutex_);
+            while (!stop_ && queue_.empty()) cv_.wait(mutex_);
+            if (queue_.empty()) return;  // stop requested and fully drained
             task = std::move(queue_.front());
             queue_.pop_front();
             ++active_;
         }
         task();
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             --active_;
             if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
         }
@@ -44,8 +41,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    MutexLock lock(mutex_);
+    while (!queue_.empty() || active_ != 0) idle_cv_.wait(mutex_);
 }
 
 }  // namespace jaws::util

@@ -3,20 +3,22 @@
 // The cluster facade (paper Fig. 7: one JAWS instance per database node) runs
 // node engines in parallel, and some benches sweep parameters concurrently.
 // This pool provides the standard submit/future interface with a fixed worker
-// count; all synchronisation is internal.
+// count; all synchronisation is internal and statically checked by Clang's
+// thread-safety analysis (util/thread_annotations.h).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace jaws::util {
 
@@ -47,7 +49,7 @@ class ThreadPool {
             });
         std::future<R> fut = task->get_future();
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             queue_.emplace_back([task]() { (*task)(); });
         }
         cv_.notify_one();
@@ -55,18 +57,18 @@ class ThreadPool {
     }
 
     /// Block until every task submitted so far has finished.
-    void wait_idle();
+    void wait_idle() EXCLUDES(mutex_);
 
   private:
-    void worker_loop();
+    void worker_loop() EXCLUDES(mutex_);
 
     std::vector<std::thread> threads_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::condition_variable idle_cv_;
-    std::size_t active_ = 0;
-    bool stop_ = false;
+    Mutex mutex_;
+    CondVar cv_;       ///< Signalled on submit and stop.
+    CondVar idle_cv_;  ///< Signalled when the pool drains fully.
+    std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+    std::size_t active_ GUARDED_BY(mutex_) = 0;
+    bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace jaws::util

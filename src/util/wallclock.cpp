@@ -1,0 +1,14 @@
+#include "util/wallclock.h"
+
+#include <chrono>
+
+namespace jaws::util {
+
+std::uint64_t wall_clock_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace jaws::util
