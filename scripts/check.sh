@@ -5,7 +5,9 @@
 #   scripts/check.sh            # plain RelWithDebInfo build + ctest + smoke
 #   scripts/check.sh --asan     # same, built with address+UB sanitizers
 #   scripts/check.sh --tsan     # same, built with the thread sanitizer
+#   scripts/check.sh --audit    # same, with JAWS_AUDIT_BUILD contract audits
 #   scripts/check.sh --tidy     # static gates only: determinism lint +
+#                               # semantic analyzer + layering lint +
 #                               # clang-tidy over compile_commands.json
 #   scripts/check.sh --fast     # skip the sanitizer-unfriendly smoke run
 set -euo pipefail
@@ -18,15 +20,36 @@ for arg in "$@"; do
     case "$arg" in
         --asan) preset=asan-ubsan ;;
         --tsan) preset=tsan ;;
+        --audit) preset=audit ;;
         --tidy) tidy=1 ;;
         --fast) smoke=0 ;;
-        *) echo "usage: $0 [--asan|--tsan|--tidy] [--fast]" >&2; exit 2 ;;
+        *) echo "usage: $0 [--asan|--tsan|--audit|--tidy] [--fast]" >&2; exit 2 ;;
     esac
 done
 
 echo "== determinism lint =="
 python3 scripts/lint_determinism.py --self-test
 python3 scripts/lint_determinism.py
+
+echo "== module layering lint =="
+python3 scripts/lint_layering.py --self-test
+python3 scripts/lint_layering.py
+
+echo "== semantic analyzer =="
+# Content-stamped like clang-tidy below: the analyzer's input is the source
+# tree plus the analyzer itself.
+mkdir -p build
+analyzer_stamp_file=build/analyzer.stamp
+analyzer_stamp="$( (cat scripts/jaws_analyzer.py scripts/lint_determinism.py;
+                    find src -type f \( -name '*.h' -o -name '*.cpp' \) -print0 |
+                        sort -z | xargs -0 cat) | sha256sum | cut -d' ' -f1)"
+if [[ -f "$analyzer_stamp_file" && "$(cat "$analyzer_stamp_file")" == "$analyzer_stamp" ]]; then
+    echo "jaws_analyzer: cached clean run ($analyzer_stamp)"
+else
+    python3 scripts/jaws_analyzer.py --self-test
+    python3 scripts/jaws_analyzer.py --compdb build
+    echo "$analyzer_stamp" > "$analyzer_stamp_file"
+fi
 
 if [[ "$tidy" == 1 ]]; then
     echo "== configure (default, for compile_commands.json) =="
@@ -38,10 +61,13 @@ if [[ "$tidy" == 1 ]]; then
         exit 3
     }
 
-    # Cache: skip the run when nothing that feeds clang-tidy has changed.
+    # Cache: skip the run when nothing that feeds clang-tidy has changed --
+    # including the build configuration (CMakeLists.txt / CMakePresets.json
+    # change compile flags, and flags change diagnostics).
     # CI persists build/tidy.stamp keyed the same way.
     stamp_file=build/tidy.stamp
-    stamp="$( (clang-tidy --version; cat .clang-tidy;
+    stamp="$( (clang-tidy --version; cat .clang-tidy CMakeLists.txt CMakePresets.json;
+               find src -name CMakeLists.txt -print0 | sort -z | xargs -0 cat;
                find src -type f \( -name '*.h' -o -name '*.cpp' \) -print0 |
                    sort -z | xargs -0 cat) | sha256sum | cut -d' ' -f1)"
     if [[ -f "$stamp_file" && "$(cat "$stamp_file")" == "$stamp" ]]; then
@@ -75,6 +101,7 @@ if [[ "$smoke" == 1 ]]; then
     case "$preset" in
         asan-ubsan) build_dir=build-asan ;;
         tsan) build_dir=build-tsan ;;
+        audit) build_dir=build-audit ;;
     esac
     echo "== fault sweep smoke (determinism) =="
     "$build_dir/bench/fault_sweep" 10 > /tmp/jaws_fault_sweep_a.txt

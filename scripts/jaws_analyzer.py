@@ -1,0 +1,946 @@
+#!/usr/bin/env python3
+"""Semantic static analyzer for the JAWS kernel discipline.
+
+scripts/lint_determinism.py bans textual *patterns* (wall-clock reads, ambient
+randomness, hash-order iteration over locally declared containers). This
+analyzer checks the *semantic* contracts that plain patterns cannot see,
+across src/{core,sched,storage,cache,field,workload,util}:
+
+  kernel-blocking      no blocking or wall-clock call may be reachable from a
+                       discrete-event handler (a lambda passed to
+                       EventQueue::schedule / SimResource::submit /
+                       set_idle_hook / set_observer, or assigned to a
+                       SimResource::Job hook): the kernel runs handlers on the
+                       virtual timeline, so a sleep, condition-variable wait,
+                       join, or steady_clock::now() inside one either stalls
+                       the simulation or leaks wall time into it. Calls are
+                       followed through same-TU helper functions.
+  unordered-iteration  range-for over std::unordered_{map,set,...} even when
+                       the container hides behind a `using` alias, a typedef,
+                       or an `auto` binding (the determinism lint only sees
+                       direct declarations).
+  float-equality       `==`/`!=` with a floating operand inside
+                       src/{core,sched,storage,cache}: scheduling decisions
+                       must not hinge on exact double identity unless the
+                       site proves both sides are computed identically.
+  narrowing-cast       static_cast to an integer narrower than 64 bits whose
+                       operand involves SimTime/.micros tick arithmetic --
+                       microsecond counters overflow int32 after ~36 minutes
+                       of virtual time.
+  clock-mutation       mutation of a util::VirtualClock (advance/advance_to/
+                       reset) outside its owning file (src/util/sim_time.h):
+                       only the event loop may move a clock.
+
+Escape hatch (shared with the determinism lint): a line, or the line directly
+above it, carrying
+    // jaws-lint: allow(<rule>)
+suppresses that rule there; each allow is expected to carry a written
+justification proving the site safe.
+
+Engines:
+  libclang   AST-based, driven by `clang.cindex` over the build directory's
+             compile_commands.json. Authoritative: resolves types through
+             aliases and `auto`, receiver types, and cross-header call
+             targets.
+  internal   dependency-free tokenizer fallback so every rule stays
+             enforceable (and self-testable) on machines without the libclang
+             Python bindings. Same rules, same waivers; call reachability is
+             limited to the translation unit's own file.
+
+Usage:
+    scripts/jaws_analyzer.py [--root R] [--compdb BUILDDIR]   # analyze tree
+    scripts/jaws_analyzer.py --self-test                      # fixture suite
+    scripts/jaws_analyzer.py --engine libclang ...            # force engine
+    scripts/jaws_analyzer.py --require-libclang ...           # CI: no fallback
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error (including
+--require-libclang when the libclang bindings are unavailable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_determinism as ld  # shared comment stripping, waivers, helpers
+
+ANALYZED_DIRS = [
+    os.path.join("src", d)
+    for d in ("core", "sched", "storage", "cache", "field", "workload", "util")
+]
+FLOAT_EQ_MODULES = ("core", "sched", "storage", "cache")
+CLOCK_OWNER_FILES = {os.path.join("src", "util", "sim_time.h")}
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+
+Violation = ld.Violation
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "new",
+    "delete", "else", "do", "assert", "static_assert", "alignof", "decltype",
+    "case", "throw", "co_await", "co_return",
+}
+
+BLOCKING_RE = re.compile(
+    r"std::this_thread::sleep_(?:for|until)"
+    r"|\busleep\s*\(|\bnanosleep\s*\(|\bsleep\s*\("
+    r"|\.(?:wait|wait_for|wait_until|join)\s*\("
+    r"|std::chrono::(?:system_clock|steady_clock|high_resolution_clock)::now"
+    r"|\bwall_clock_ns\s*\("
+)
+BLOCKING_NAMES = {
+    "sleep_for", "sleep_until", "usleep", "nanosleep", "sleep", "wait",
+    "wait_for", "wait_until", "join", "now", "wall_clock_ns",
+}
+HANDLER_CALL_RE = re.compile(
+    r"\b(?:schedule|submit|set_idle_hook|set_observer)\s*\(")
+HANDLER_ASSIGN_RE = re.compile(r"\.(?:on_start|on_complete|on_abort)\s*=")
+CALLED_NAME_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+ALIAS_RE = re.compile(
+    r"\busing\s+([A-Za-z_]\w*)\s*=[^;=]*\bunordered_(?:map|set|multimap|multiset)\s*<")
+TYPEDEF_RE = re.compile(
+    r"\btypedef\b[^;]*\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?"
+    r"\b([A-Za-z_]\w*)\s*;")
+AUTO_BIND_RE = re.compile(r"\bauto\s*&?\s*([A-Za-z_]\w*)\s*=\s*([A-Za-z_]\w*)\s*;")
+
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)")
+FLOAT_LITERAL_RE = re.compile(
+    r"\b(?:\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)\b|(?<![\w.])\.\d+\b")
+EQ_RE = re.compile(r"(?<![=!<>+\-*/%&|^])(==|!=)(?!=)")
+OPERAND_BOUNDARY_RE = re.compile(r"[(){};,?]|&&|\|\||\breturn\b|(?<![=!<>])=(?![=])")
+
+NARROW_CAST_RE = re.compile(
+    r"static_cast\s*<\s*((?:std::)?(?:u?int(?:8|16|32)_t|int|unsigned(?:\s+int)?"
+    r"|short|unsigned\s+short|signed\s+char|unsigned\s+char|char))\s*>\s*\(")
+TIME_OPERAND_RE = re.compile(r"\bmicros\b|\bSimTime\b")
+
+VCLOCK_DECL_RE = re.compile(r"\b(?:util::)?VirtualClock\s*&?\s+([A-Za-z_]\w*)")
+CLOCK_MUTATORS = ("advance_to", "advance", "reset")
+
+FUNC_HEAD_RE = re.compile(
+    r"\b([A-Za-z_~]\w*)\s*\(((?:[^()]|\([^()]*\))*)\)\s*"
+    r"(?:const\s*)?(?:noexcept(?:\s*\([^)]*\))?\s*)?(?:override\s*)?(?:final\s*)?"
+    r"(?:->\s*[\w:<>&*,\s]+?)?(?:\s*:\s*[^{};]*)?\s*\{")
+
+
+class AnalyzerError(RuntimeError):
+    pass
+
+
+def match_bracket(code: str, start: int, open_ch: str, close_ch: str) -> int | None:
+    """Offset of the bracket closing the one at `start`, or None."""
+    assert code[start] == open_ch
+    depth = 0
+    for i in range(start, len(code)):
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+def module_of(display_path: str) -> str:
+    parts = display_path.replace(os.sep, "/").split("/")
+    return parts[1] if len(parts) > 2 and parts[0] == "src" else ""
+
+
+# ---------------------------------------------------------------------------
+# Internal engine
+# ---------------------------------------------------------------------------
+
+def function_bodies(code: str) -> dict[str, list[tuple[int, int]]]:
+    """Map function/method name -> body ranges defined in this text."""
+    bodies: dict[str, list[tuple[int, int]]] = {}
+    for m in FUNC_HEAD_RE.finditer(code):
+        name = m.group(1).lstrip("~")
+        if name in KEYWORDS:
+            continue
+        brace = m.end() - 1
+        end = match_bracket(code, brace, "{", "}")
+        if end is None:
+            continue
+        bodies.setdefault(name, []).append((brace + 1, end))
+    return bodies
+
+
+def lambda_bodies_in(code: str, start: int, end: int) -> list[tuple[int, int]]:
+    """Body ranges of lambda expressions whose introducer lies in [start, end)."""
+    out: list[tuple[int, int]] = []
+    i = start
+    n = len(code)
+    while i < min(end, n):
+        if code[i] != "[":
+            i += 1
+            continue
+        j = i - 1
+        while j >= 0 and code[j] in " \t\n":
+            j -= 1
+        if j >= 0 and (code[j].isalnum() or code[j] in "_)]"):
+            i += 1  # array subscript, not a lambda introducer
+            continue
+        close = match_bracket(code, i, "[", "]")
+        if close is None:
+            i += 1
+            continue
+        k = close + 1
+        while k < n and code[k] in " \t\n":
+            k += 1
+        if k < n and code[k] == "(":
+            pclose = match_bracket(code, k, "(", ")")
+            if pclose is None:
+                i = close + 1
+                continue
+            k = pclose + 1
+        m = re.match(
+            r"\s*(?:mutable\s*)?(?:noexcept(?:\s*\([^)]*\))?\s*)?"
+            r"(?:->\s*[\w:<>&*\s]+?)?\s*\{", code[k:])
+        if not m:
+            i = close + 1
+            continue
+        bstart = k + m.end() - 1
+        bend = match_bracket(code, bstart, "{", "}")
+        if bend is None:
+            i = close + 1
+            continue
+        out.append((bstart + 1, bend))
+        i = bstart + 1  # descend: nested lambdas are handlers too
+    return out
+
+
+def handler_ranges(code: str) -> list[tuple[int, int]]:
+    """Body ranges of every event-handler lambda in this text."""
+    ranges: list[tuple[int, int]] = []
+    for m in HANDLER_CALL_RE.finditer(code):
+        paren = code.find("(", m.end() - 1)
+        if paren < 0:
+            continue
+        close = match_bracket(code, paren, "(", ")")
+        if close is None:
+            continue
+        ranges.extend(lambda_bodies_in(code, paren + 1, close))
+    for m in HANDLER_ASSIGN_RE.finditer(code):
+        stmt_end = code.find(";", m.end())
+        if stmt_end < 0:
+            stmt_end = len(code)
+        ranges.extend(lambda_bodies_in(code, m.end(), stmt_end))
+    return ranges
+
+
+def reachable_ranges(code: str) -> list[tuple[int, int]]:
+    """Handler bodies plus the bodies of every same-file function reachable
+    from them (transitively)."""
+    ranges = handler_ranges(code)
+    if not ranges:
+        return []
+    bodies = function_bodies(code)
+    seen_names: set[str] = set()
+    frontier = list(ranges)
+    while frontier:
+        lo, hi = frontier.pop()
+        for m in CALLED_NAME_RE.finditer(code, lo, hi):
+            name = m.group(1)
+            if name in KEYWORDS or name in seen_names:
+                continue
+            seen_names.add(name)
+            for body in bodies.get(name, []):
+                frontier.append(body)
+                ranges.append(body)
+    return ranges
+
+
+def unordered_names_through_aliases(code: str) -> set[str]:
+    """Variables whose type is an unordered container, including through
+    `using`/`typedef` aliases and single-step `auto` bindings."""
+    alias_types = {m.group(1) for m in ALIAS_RE.finditer(code)}
+    alias_types |= {m.group(1) for m in TYPEDEF_RE.finditer(code)}
+    names = ld.unordered_container_names(code)
+    for alias in alias_types:
+        decl = re.compile(r"\b" + re.escape(alias) + r"\s*&?\s+([A-Za-z_]\w*)\s*(?:;|=|\{|\[)")
+        names |= {m.group(1) for m in decl.finditer(code)}
+    for m in AUTO_BIND_RE.finditer(code):
+        if m.group(2) in names:
+            names.add(m.group(1))
+    return names
+
+
+def float_names(code: str) -> set[str]:
+    return {m.group(1) for m in FLOAT_DECL_RE.finditer(code)}
+
+
+def operand_windows(code: str, start: int, end: int) -> tuple[str, str]:
+    """Text of the (approximate) left and right operands of the binary
+    operator spanning [start, end)."""
+    left_src = code[max(0, start - 200):start]
+    boundaries = [m.end() for m in OPERAND_BOUNDARY_RE.finditer(left_src)]
+    left = left_src[boundaries[-1]:] if boundaries else left_src
+    right_src = code[end:end + 200]
+    m = OPERAND_BOUNDARY_RE.search(right_src)
+    right = right_src[:m.start()] if m else right_src
+    return left, right
+
+
+def is_float_operand(text: str, floats: set[str]) -> bool:
+    if FLOAT_LITERAL_RE.search(text):
+        return True
+    return any(ident in floats for ident in ld.IDENT_RE.findall(text))
+
+
+def analyze_file_internal(path: str, display_path: str,
+                          header_code: str | None) -> list[Violation]:
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    code = ld.strip_comments_and_strings(raw)
+    merged = code if header_code is None else code  # header merged per-rule below
+
+    def line_of(offset: int) -> int:
+        return code.count("\n", 0, offset) + 1
+
+    violations: list[Violation] = []
+
+    # kernel-blocking: blocking primitives inside handler-reachable code.
+    ranges = reachable_ranges(code)
+    if ranges:
+        flagged: set[int] = set()
+        for m in BLOCKING_RE.finditer(code):
+            if m.start() in flagged:
+                continue
+            if any(lo <= m.start() < hi for lo, hi in ranges):
+                flagged.add(m.start())
+                violations.append(Violation(
+                    display_path, line_of(m.start()), "kernel-blocking",
+                    f"blocking/wall-clock call `{m.group(0).strip()}` is "
+                    "reachable from a discrete-event handler (handlers run on "
+                    "the virtual timeline; model delays with "
+                    "EventQueue::schedule instead)"))
+
+    # unordered-iteration through aliases/typedefs/auto (plus direct decls,
+    # so the same rule name covers both linters' findings).
+    names = unordered_names_through_aliases(merged)
+    if header_code is not None:
+        names |= unordered_names_through_aliases(header_code)
+    if names:
+        for m in ld.RANGE_FOR_RE.finditer(code):
+            hit = ld.find_range_for_container(code, m.start())
+            if hit is None:
+                continue
+            expr, _colon = hit
+            idents = ld.IDENT_RE.findall(expr)
+            if idents and idents[-1] in names:
+                violations.append(Violation(
+                    display_path, line_of(m.start()), "unordered-iteration",
+                    f"iteration over unordered container `{idents[-1]}` "
+                    "(resolved through its declaration/alias); hash order is "
+                    "not deterministic -- sort first or justify with an allow"))
+
+    # float-equality in the decision modules.
+    if module_of(display_path) in FLOAT_EQ_MODULES:
+        floats = float_names(code)
+        if header_code is not None:
+            floats |= float_names(header_code)
+        for m in EQ_RE.finditer(code):
+            left, right = operand_windows(code, m.start(), m.end())
+            if is_float_operand(left, floats) or is_float_operand(right, floats):
+                violations.append(Violation(
+                    display_path, line_of(m.start()), "float-equality",
+                    f"floating-point `{m.group(1)}` in a scheduling/decision "
+                    "module; exact double identity is rarely meaningful -- "
+                    "compare with a tolerance or prove the operands are "
+                    "computed identically in an allow justification"))
+
+    # narrowing-cast on SimTime/tick arithmetic.
+    for m in NARROW_CAST_RE.finditer(code):
+        paren = code.rfind("(", 0, m.end())
+        close = match_bracket(code, paren, "(", ")")
+        arg = code[paren + 1:close] if close is not None else code[paren + 1:paren + 200]
+        if TIME_OPERAND_RE.search(arg):
+            violations.append(Violation(
+                display_path, line_of(m.start()), "narrowing-cast",
+                f"static_cast<{m.group(1)}> narrows SimTime/tick arithmetic "
+                "(microsecond counts overflow 32 bits in ~36 virtual minutes; "
+                "keep tick math in std::int64_t)"))
+
+    # clock-mutation outside the owning file.
+    rel = display_path.replace("/", os.sep)
+    if rel not in CLOCK_OWNER_FILES:
+        clock_names = {m.group(1) for m in VCLOCK_DECL_RE.finditer(code)}
+        if header_code is not None:
+            clock_names |= {m.group(1) for m in VCLOCK_DECL_RE.finditer(header_code)}
+        for name in sorted(clock_names):
+            mut = re.compile(r"\b" + re.escape(name) + r"\.(" +
+                             "|".join(CLOCK_MUTATORS) + r")\s*\(")
+            for m in mut.finditer(code):
+                violations.append(Violation(
+                    display_path, line_of(m.start()), "clock-mutation",
+                    f"`{name}.{m.group(1)}()` mutates a VirtualClock outside "
+                    "the event loop; only the kernel may move a clock"))
+
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# libclang engine
+# ---------------------------------------------------------------------------
+
+def load_cindex():
+    """Import clang.cindex and make sure the shared library loads. Raises
+    AnalyzerError with an actionable message otherwise."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError as e:
+        raise AnalyzerError(
+            "libclang python bindings unavailable (pip/apt install "
+            "python3-clang + libclang): " + str(e))
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        pass
+    candidates = sorted(
+        glob.glob("/usr/lib/llvm-*/lib/libclang-*.so*")
+        + glob.glob("/usr/lib/llvm-*/lib/libclang.so*")
+        + glob.glob("/usr/lib/*/libclang-*.so*")
+        + glob.glob("/usr/lib/*/libclang.so*"),
+        reverse=True)
+    for lib in candidates:
+        try:
+            cindex.Config.loaded = False
+            cindex.Config.set_library_file(lib)
+            cindex.Index.create()
+            return cindex
+        except Exception:
+            continue
+    raise AnalyzerError(
+        "clang.cindex imports but no libclang shared library loads "
+        "(apt install libclang1 or set CLANG_LIBRARY_FILE)")
+
+
+def analyze_files_libclang(files: list[tuple[str, str]], compdb_dir: str | None,
+                           default_args: list[str]) -> list[Violation]:
+    """AST analysis of (path, display_path) pairs. Violations are reported
+    only for locations inside the analyzed files themselves."""
+    cindex = load_cindex()
+    CK = cindex.CursorKind
+    index = cindex.Index.create()
+    compdb = None
+    if compdb_dir and os.path.isfile(os.path.join(compdb_dir, "compile_commands.json")):
+        try:
+            compdb = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+        except cindex.CompilationDatabaseError:
+            compdb = None
+
+    violations: list[Violation] = []
+
+    def args_for(path: str) -> list[str]:
+        if compdb is not None:
+            cmds = compdb.getCompileCommands(os.path.abspath(path))
+            if cmds:
+                args = list(cmds[0].arguments)[1:]  # drop the compiler itself
+                # Drop the output/input file operands; keep flags.
+                cleaned, skip = [], False
+                for a in args:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-o", "-c"):
+                        skip = a == "-o"
+                        continue
+                    if a == path or a == os.path.abspath(path):
+                        continue
+                    cleaned.append(a)
+                return cleaned
+        return default_args
+
+    def canonical(type_obj) -> str:
+        try:
+            return type_obj.get_canonical().spelling
+        except Exception:
+            return ""
+
+    def in_this_file(cursor, path: str) -> bool:
+        loc = cursor.location
+        return loc.file is not None and os.path.abspath(loc.file.name) == os.path.abspath(path)
+
+    def walk(cursor):
+        for child in cursor.get_children():
+            yield child
+            yield from walk(child)
+
+    def qualified(cursor) -> str:
+        parts = []
+        c = cursor
+        while c is not None and c.kind != CK.TRANSLATION_UNIT:
+            if c.spelling:
+                parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    FLOATS = {"float", "double", "long double"}
+    NARROW_INTS = {"int", "unsigned int", "short", "unsigned short",
+                   "char", "signed char", "unsigned char"}
+    WIDE_SOURCES = ("long", "long long", "unsigned long", "unsigned long long")
+
+    for path, display_path in files:
+        try:
+            tu = index.parse(path, args=args_for(path))
+        except Exception as e:  # parse failure: surface, don't silently skip
+            raise AnalyzerError(f"libclang failed to parse {display_path}: {e}")
+
+        def flag(cursor, rule: str, message: str):
+            if not in_this_file(cursor, path):
+                return
+            violations.append(Violation(display_path, cursor.location.line,
+                                        rule, message))
+
+        # ---- kernel-blocking: handler lambdas and their call graph ----
+        defs: dict[str, object] = {}
+        for c in walk(tu.cursor):
+            if c.kind in (CK.FUNCTION_DECL, CK.CXX_METHOD, CK.CONSTRUCTOR,
+                          CK.FUNCTION_TEMPLATE) and c.is_definition():
+                usr = c.get_usr()
+                if usr:
+                    defs[usr] = c
+
+        handler_lambdas = []
+        for c in walk(tu.cursor):
+            if c.kind == CK.CALL_EXPR and c.spelling in (
+                    "schedule", "submit", "set_idle_hook", "set_observer"):
+                for sub in walk(c):
+                    if sub.kind == CK.LAMBDA_EXPR:
+                        handler_lambdas.append(sub)
+            elif c.kind == CK.BINARY_OPERATOR:
+                kids = list(c.get_children())
+                if len(kids) == 2:
+                    lhs_names = {k.spelling for k in walk(kids[0])} | {kids[0].spelling}
+                    if lhs_names & {"on_start", "on_complete", "on_abort"}:
+                        for sub in walk(kids[1]):
+                            if sub.kind == CK.LAMBDA_EXPR:
+                                handler_lambdas.append(sub)
+
+        def scan_blocking(cursor, visited: set[str]):
+            for c in walk(cursor):
+                if c.kind != CK.CALL_EXPR:
+                    continue
+                name = c.spelling
+                ref = c.referenced
+                if name in BLOCKING_NAMES:
+                    qual = qualified(ref) if ref is not None else name
+                    blocking = (
+                        "sleep" in name or name in ("usleep", "nanosleep",
+                                                    "wall_clock_ns")
+                        or (name in ("wait", "wait_for", "wait_until", "join")
+                            and ("condition_variable" in qual or "thread" in qual
+                                 or "future" in qual))
+                        or (name == "now" and "clock" in qual
+                            and "VirtualClock" not in qual))
+                    if blocking:
+                        flag(c, "kernel-blocking",
+                             f"blocking/wall-clock call `{qual or name}` is "
+                             "reachable from a discrete-event handler")
+                if ref is not None:
+                    usr = ref.get_usr()
+                    if usr and usr not in visited and usr in defs:
+                        visited.add(usr)
+                        scan_blocking(defs[usr], visited)
+
+        visited: set[str] = set()
+        for lam in handler_lambdas:
+            scan_blocking(lam, visited)
+
+        for c in walk(tu.cursor):
+            if not in_this_file(c, path):
+                continue
+            # ---- unordered-iteration (canonical type sees through aliases) --
+            if c.kind == CK.CXX_FOR_RANGE_STMT:
+                kids = list(c.get_children())
+                if len(kids) >= 2:
+                    range_expr = kids[-2]
+                    if "unordered_" in canonical(range_expr.type):
+                        flag(c, "unordered-iteration",
+                             "iteration over an unordered container (canonical "
+                             f"type `{canonical(range_expr.type)[:80]}`); hash "
+                             "order is not deterministic")
+            # ---- float-equality ----
+            elif (c.kind == CK.BINARY_OPERATOR
+                  and module_of(display_path) in FLOAT_EQ_MODULES):
+                kids = list(c.get_children())
+                if len(kids) == 2:
+                    toks = {t.spelling for t in c.get_tokens()}
+                    if ("==" in toks or "!=" in toks) and any(
+                            canonical(k.type) in FLOATS for k in kids):
+                        # Only flag when the operator between the operands is
+                        # ==/!= (token set also contains operand tokens).
+                        lhs_end = kids[0].extent.end.offset
+                        rhs_start = kids[1].extent.start.offset
+                        mid = [t.spelling for t in c.get_tokens()
+                               if lhs_end <= t.extent.start.offset < rhs_start]
+                        if "==" in mid or "!=" in mid:
+                            flag(c, "float-equality",
+                                 "floating-point ==/!= in a scheduling/decision "
+                                 "module; compare with a tolerance or prove the "
+                                 "operands identical in an allow justification")
+            # ---- narrowing-cast ----
+            elif c.kind in (CK.CXX_STATIC_CAST_EXPR, CK.CSTYLE_CAST_EXPR):
+                target = canonical(c.type)
+                if target in NARROW_INTS:
+                    kids = list(c.get_children())
+                    src = kids[-1] if kids else None
+                    if src is not None:
+                        src_type = canonical(src.type)
+                        mentions_time = any(
+                            s.spelling == "micros" or "SimTime" in canonical(s.type)
+                            for s in walk(src)) or "SimTime" in src_type
+                        if mentions_time and (src_type in WIDE_SOURCES
+                                              or "SimTime" in src_type
+                                              or src_type in FLOATS):
+                            flag(c, "narrowing-cast",
+                                 f"cast to `{target}` narrows SimTime/tick "
+                                 "arithmetic; keep tick math in std::int64_t")
+            # ---- clock-mutation ----
+            elif c.kind == CK.CALL_EXPR and c.spelling in CLOCK_MUTATORS:
+                ref = c.referenced
+                parent = ref.semantic_parent if ref is not None else None
+                if (parent is not None and parent.spelling == "VirtualClock"
+                        and display_path.replace("/", os.sep) not in CLOCK_OWNER_FILES):
+                    flag(c, "clock-mutation",
+                         f"`{c.spelling}()` mutates a VirtualClock outside the "
+                         "event loop; only the kernel may move a clock")
+
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Tree walking, waiver filtering, drivers
+# ---------------------------------------------------------------------------
+
+def tree_files(root: str) -> list[tuple[str, str]]:
+    files: list[tuple[str, str]] = []
+    for rel_dir in ANALYZED_DIRS:
+        base = os.path.join(root, rel_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    path = os.path.join(dirpath, name)
+                    files.append((path, os.path.relpath(path, root)))
+    return files
+
+
+def paired_header_code(path: str) -> str | None:
+    if not path.endswith((".cpp", ".cc")):
+        return None
+    stem = os.path.splitext(path)[0]
+    for ext in (".h", ".hpp"):
+        header = stem + ext
+        if os.path.isfile(header):
+            with open(header, "r", encoding="utf-8", errors="replace") as f:
+                return ld.strip_comments_and_strings(f.read())
+    return None
+
+
+def filter_waived(violations: list[Violation], root: str) -> list[Violation]:
+    """Drop violations covered by `// jaws-lint: allow(<rule>)` directives."""
+    allowed_cache: dict[str, dict[int, set[str]]] = {}
+    kept: list[Violation] = []
+    for v in violations:
+        if v.path not in allowed_cache:
+            full = v.path if os.path.isabs(v.path) else os.path.join(root, v.path)
+            try:
+                with open(full, "r", encoding="utf-8", errors="replace") as f:
+                    allowed_cache[v.path] = ld.allowed_rules_by_line(
+                        f.read().splitlines())
+            except OSError:
+                allowed_cache[v.path] = {}
+        if v.rule not in allowed_cache[v.path].get(v.line, set()):
+            kept.append(v)
+    kept.sort(key=lambda v: (v.path, v.line, v.rule))
+    return kept
+
+
+def dedupe(violations: list[Violation]) -> list[Violation]:
+    seen: set[tuple[str, int, str]] = set()
+    out = []
+    for v in violations:
+        key = (v.path, v.line, v.rule)
+        if key not in seen:
+            seen.add(key)
+            out.append(v)
+    return out
+
+
+def run_engine(engine: str, files: list[tuple[str, str]], root: str,
+               compdb: str | None) -> list[Violation]:
+    if engine == "libclang":
+        raw = analyze_files_libclang(files, compdb, ["-std=c++20", "-xc++",
+                                                     "-I", os.path.join(root, "src")])
+    else:
+        raw = []
+        for path, display_path in files:
+            raw.extend(analyze_file_internal(path, display_path,
+                                             paired_header_code(path)))
+    return dedupe(filter_waived(raw, root))
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: every rule, both ways, plus waivers.
+# ---------------------------------------------------------------------------
+
+FIXTURE_PRELUDE = """
+namespace std {
+struct mutex { void lock(); void unlock(); };
+struct condition_variable { template <class L> void wait(L&); };
+namespace chrono { struct steady_clock { static long now(); }; }
+namespace this_thread { template <class D> void sleep_for(D); }
+template <class K, class V> struct unordered_map {
+    struct value_type { K first; V second; };
+    value_type* begin(); value_type* end();
+    const value_type* begin() const; const value_type* end() const;
+};
+template <class T> struct vector {
+    T* begin(); T* end(); const T* begin() const; const T* end() const;
+};
+}  // namespace std
+struct SimTime { long long micros; };
+struct VirtualClock {
+    void advance(SimTime);
+    void advance_to(SimTime);
+    void reset();
+    SimTime now() const;
+};
+struct EventQueue {
+    template <class F> unsigned long schedule(SimTime, int, F);
+};
+"""
+
+SELFTEST_CASES = [
+    ("bad_blocking_direct.cpp", FIXTURE_PRELUDE + """
+void f(EventQueue& q, SimTime t) {
+    q.schedule(t, 0, [] { std::this_thread::sleep_for(5); });
+}
+""", ["kernel-blocking"]),
+    ("bad_blocking_transitive.cpp", FIXTURE_PRELUDE + """
+std::mutex m;
+std::condition_variable cv;
+void helper() { cv.wait(m); }
+void f(EventQueue& q, SimTime t) {
+    q.schedule(t, 0, [] { helper(); });
+}
+""", ["kernel-blocking"]),
+    ("ok_blocking_unreachable.cpp", FIXTURE_PRELUDE + """
+// Blocking outside any handler is the thread pool's business, not ours.
+void shutdown_path() { std::this_thread::sleep_for(5); }
+void f(EventQueue& q, SimTime t) {
+    q.schedule(t, 0, [] { int x = 1; (void)x; });
+}
+""", []),
+    ("ok_blocking_waived.cpp", FIXTURE_PRELUDE + """
+void f(EventQueue& q, SimTime t) {
+    q.schedule(t, 0, [] {
+        // jaws-lint: allow(kernel-blocking) -- fixture: proven-safe site.
+        std::this_thread::sleep_for(5);
+    });
+}
+""", []),
+    ("bad_unordered_alias.cpp", FIXTURE_PRELUDE + """
+using AtomMap = std::unordered_map<int, int>;
+int f(const AtomMap& unused) {
+    AtomMap counts_;
+    int total = 0;
+    for (const auto& kv : counts_) total += kv.second;
+    return total + (unused.begin() == unused.end() ? 0 : 1);
+}
+""", ["unordered-iteration"]),
+    ("bad_unordered_auto.cpp", FIXTURE_PRELUDE + """
+int f() {
+    std::unordered_map<int, int> counts;
+    auto& view = counts;
+    int total = 0;
+    for (const auto& kv : view) total += kv.second;
+    return total;
+}
+""", ["unordered-iteration"]),
+    ("ok_unordered_vector_alias.cpp", FIXTURE_PRELUDE + """
+using Order = std::vector<int>;
+int f() {
+    Order order;
+    int total = 0;
+    for (int v : order) total += v;
+    return total;
+}
+""", []),
+    ("bad_float_eq.cpp", FIXTURE_PRELUDE + """
+bool f(double utility, double best) { return utility == best; }
+""", ["float-equality"]),
+    ("bad_float_literal.cpp", FIXTURE_PRELUDE + """
+int f(double alpha) {
+    if (alpha != 1.0) return 2;
+    return 3;
+}
+""", ["float-equality"]),
+    ("ok_int_eq.cpp", FIXTURE_PRELUDE + """
+bool f(int a, long long b, const std::vector<int>& v) {
+    bool edge = v.begin() == v.end();
+    return a == 3 && b != 7 && edge;
+}
+""", []),
+    ("ok_float_eq_waived.cpp", FIXTURE_PRELUDE + """
+bool f(double cached, double derived) {
+    // jaws-lint: allow(float-equality) -- fixture: operands computed
+    // identically, exact identity is the contract under test.
+    return cached == derived;
+}
+""", []),
+    ("bad_narrow_cast.cpp", FIXTURE_PRELUDE + """
+int f(SimTime t) { return static_cast<int>(t.micros); }
+unsigned g(SimTime t) { return static_cast<unsigned int>(t.micros / 1000); }
+""", ["narrowing-cast", "narrowing-cast"]),
+    ("ok_wide_cast.cpp", FIXTURE_PRELUDE + """
+long long f(SimTime t) { return static_cast<long long>(t.micros); }
+double g(SimTime t) { return static_cast<double>(t.micros); }
+int h(int count) { return static_cast<int>(count + 1); }
+""", []),
+    ("bad_clock_mutation.cpp", FIXTURE_PRELUDE + """
+void f(VirtualClock& clock, SimTime t) { clock.advance(t); }
+""", ["clock-mutation"]),
+    ("ok_clock_reader.cpp", FIXTURE_PRELUDE + """
+struct Cursor { void advance(SimTime); };
+SimTime f(const VirtualClock& clock, Cursor& cur, SimTime t) {
+    cur.advance(t);  // not a VirtualClock: free to move
+    return clock.now();
+}
+""", []),
+]
+
+# Mutating a VirtualClock inside its owning file is the one sanctioned site.
+OWNER_FIXTURE = ("sim_time.h", FIXTURE_PRELUDE + """
+inline void tick(VirtualClock& clock, SimTime t) { clock.advance(t); }
+""", [])
+
+
+def self_test(engines: list[str], root_hint: str) -> int:
+    failures = 0
+    ran: list[str] = []
+    for engine in engines:
+        with tempfile.TemporaryDirectory(prefix="jaws_analyzer_selftest_") as tmp:
+            core_dir = os.path.join(tmp, "src", "core")
+            util_dir = os.path.join(tmp, "src", "util")
+            os.makedirs(core_dir)
+            os.makedirs(util_dir)
+            files: list[tuple[str, str]] = []
+            for name, source, _expected in SELFTEST_CASES:
+                path = os.path.join(core_dir, name)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(source)
+            owner_path = os.path.join(util_dir, OWNER_FIXTURE[0])
+            with open(owner_path, "w", encoding="utf-8") as f:
+                f.write(OWNER_FIXTURE[1])
+            files = tree_files(tmp)
+            try:
+                found = run_engine(engine, files, tmp, None)
+            except AnalyzerError as e:
+                print(f"SELF-TEST FAIL ({engine}): {e}", file=sys.stderr)
+                return 1
+            by_file: dict[str, list[Violation]] = {}
+            for v in found:
+                by_file.setdefault(os.path.basename(v.path), []).append(v)
+            for name, _source, expected in SELFTEST_CASES + [OWNER_FIXTURE]:
+                got = [v.rule for v in by_file.get(name, [])]
+                if got != expected:
+                    failures += 1
+                    print(f"SELF-TEST FAIL ({engine}) {name}: expected "
+                          f"{expected}, got {got}", file=sys.stderr)
+                    for v in by_file.get(name, []):
+                        print(f"    {v}", file=sys.stderr)
+            ran.append(engine)
+    if failures == 0:
+        print(f"jaws_analyzer self-test: {len(SELFTEST_CASES) + 1} fixtures ok "
+              f"(engines: {', '.join(ran)})")
+        return 0
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the script's parent repo)")
+    parser.add_argument("--compdb", default=None,
+                        help="build dir holding compile_commands.json "
+                             "(libclang engine; default: <root>/build)")
+    parser.add_argument("--engine", choices=("auto", "libclang", "internal"),
+                        default="auto",
+                        help="auto = libclang when available, else internal")
+    parser.add_argument("--require-libclang", action="store_true",
+                        help="hard-fail (exit 2) instead of falling back to "
+                             "the internal engine (CI)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the analyzer's own fixture suite and exit")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    libclang_available = True
+    libclang_error = ""
+    try:
+        load_cindex()
+    except AnalyzerError as e:
+        libclang_available = False
+        libclang_error = str(e)
+
+    if args.engine == "libclang" or args.require_libclang:
+        if not libclang_available:
+            print(f"jaws_analyzer: libclang required but unavailable: "
+                  f"{libclang_error}", file=sys.stderr)
+            return 2
+        engines = ["libclang"]
+    elif args.engine == "internal":
+        engines = ["internal"]
+    else:  # auto
+        engines = ["libclang"] if libclang_available else ["internal"]
+        if not libclang_available:
+            print("jaws_analyzer: note: libclang bindings unavailable "
+                  f"({libclang_error}); using the internal engine. The AST "
+                  "engine runs in CI.", file=sys.stderr)
+
+    if args.self_test:
+        # Always exercise the internal engine (it is the tested fallback);
+        # add libclang when it can load.
+        selftest_engines = ["internal"]
+        if libclang_available and args.engine != "internal":
+            selftest_engines.append("libclang")
+        elif args.require_libclang:
+            selftest_engines = ["internal", "libclang"]
+        return self_test(selftest_engines, root)
+
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"jaws_analyzer: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    compdb = args.compdb or os.path.join(root, "build")
+    try:
+        violations = run_engine(engines[0], tree_files(root), root, compdb)
+    except AnalyzerError as e:
+        print(f"jaws_analyzer: {e}", file=sys.stderr)
+        return 2
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\njaws_analyzer: {len(violations)} violation(s) "
+              f"({engines[0]} engine). Fix them or annotate with "
+              "`// jaws-lint: allow(<rule>)` plus a justification.",
+              file=sys.stderr)
+        return 1
+    print(f"jaws_analyzer: clean ({engines[0]} engine)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Module-layering lint: the include graph must match the intended DAG.
+
+The simulator is layered so that determinism contracts compose bottom-up:
+
+    util  <  field  <  storage  <  cache  |  workload  <  sched  <  core
+
+(util has no dependencies; cache and workload are siblings above storage;
+sched sits above both because scheduling ranks workload::Job queries and
+coordinates with the cache's utility oracle; core composes everything.)
+
+This lint parses every `#include "module/..."` edge under src/ and rejects:
+
+  upward-include   a module including a header from a module that is not in
+                   its allowed dependency set (e.g. storage including sched)
+                   -- upward edges invert the layering and eventually force
+                   the cyclic-include workarounds this rule exists to prevent;
+  unknown-module   an include of a quoted path whose first component is not a
+                   known module (catches typos and accidental new top-level
+                   directories);
+  include-cycle    any cycle in the module-level include graph, reported with
+                   the offending edge list. The allowed sets are acyclic by
+                   construction, so a cycle implies upward-include too; the
+                   separate rule makes the report actionable when the allowed
+                   sets themselves are edited.
+
+Waivers use the shared `// jaws-lint: allow(<rule>)` syntax on (or directly
+above) the offending #include line.
+
+Usage:
+    scripts/lint_layering.py [--root REPO_ROOT]   # lint the tree
+    scripts/lint_layering.py --self-test          # lint the linter
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_determinism as ld  # shared waiver parsing
+
+# module -> modules it may include (its own module is always allowed).
+ALLOWED_DEPS: dict[str, set[str]] = {
+    "util": set(),
+    "field": {"util"},
+    "storage": {"field", "util"},
+    "cache": {"storage", "field", "util"},
+    "workload": {"storage", "field", "util"},
+    "sched": {"workload", "cache", "storage", "field", "util"},
+    "core": {"sched", "workload", "cache", "storage", "field", "util"},
+}
+
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+Violation = ld.Violation
+
+
+def module_of_path(rel_path: str) -> str | None:
+    parts = rel_path.replace(os.sep, "/").split("/")
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] in ALLOWED_DEPS:
+        return parts[1]
+    return None
+
+
+def collect_edges(root: str):
+    """Yield (display_path, line, from_module, include_path, to_module|None,
+    allowed_rules) for every quoted include under src/."""
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTENSIONS):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            from_module = module_of_path(rel)
+            if from_module is None:
+                continue
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                raw = f.read()
+            allowed = ld.allowed_rules_by_line(raw.splitlines())
+            for m in INCLUDE_RE.finditer(raw):
+                include_path = m.group(1)
+                line = raw.count("\n", 0, m.start()) + 1
+                first = include_path.split("/")[0]
+                to_module = first if first in ALLOWED_DEPS else None
+                if "/" not in include_path:
+                    # Same-directory include ("foo.h"): stays in-module.
+                    to_module = from_module
+                yield rel, line, from_module, include_path, to_module, allowed
+
+
+def lint_tree(root: str) -> list[Violation]:
+    violations: list[Violation] = []
+    edges: dict[tuple[str, str], tuple[str, int]] = {}  # module edge -> first site
+    for rel, line, from_mod, inc, to_mod, allowed in collect_edges(root):
+        if to_mod is None:
+            if "unknown-module" not in allowed.get(line, set()):
+                violations.append(Violation(
+                    rel, line, "unknown-module",
+                    f'#include "{inc}" does not start with a known module '
+                    f"({', '.join(sorted(ALLOWED_DEPS))})"))
+            continue
+        if to_mod != from_mod and to_mod not in ALLOWED_DEPS[from_mod]:
+            if "upward-include" not in allowed.get(line, set()):
+                below = ", ".join(sorted(ALLOWED_DEPS[from_mod])) or "(nothing)"
+                violations.append(Violation(
+                    rel, line, "upward-include",
+                    f"module `{from_mod}` must not include `{inc}`: "
+                    f"`{from_mod}` may depend only on {below}"))
+        if to_mod != from_mod:
+            edges.setdefault((from_mod, to_mod), (rel, line))
+
+    # Cycle detection over the *actual* module graph (independent of the
+    # allowed sets, so it still guards the day those are loosened).
+    graph: dict[str, set[str]] = {m: set() for m in ALLOWED_DEPS}
+    for (a, b) in edges:
+        graph[a].add(b)
+    state: dict[str, int] = {}
+    stack: list[str] = []
+
+    def dfs(node: str) -> list[str] | None:
+        state[node] = 1
+        stack.append(node)
+        for nxt in sorted(graph[node]):
+            if state.get(nxt, 0) == 1:
+                return stack[stack.index(nxt):] + [nxt]
+            if state.get(nxt, 0) == 0:
+                cycle = dfs(nxt)
+                if cycle is not None:
+                    return cycle
+        state[node] = 2
+        stack.pop()
+        return None
+
+    for mod in sorted(graph):
+        if state.get(mod, 0) == 0:
+            cycle = dfs(mod)
+            if cycle is not None:
+                first_edge = edges[(cycle[0], cycle[1])]
+                violations.append(Violation(
+                    first_edge[0], first_edge[1], "include-cycle",
+                    "module include cycle: " + " -> ".join(cycle)))
+                break
+
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+# --------------------------- self-test fixtures ---------------------------
+
+# (relative path, source, expected rules in file order)
+SELFTEST_CASES = [
+    ("src/util/ok_leaf.h", '#include "util/other.h"\n#include <vector>\n', []),
+    ("src/storage/ok_down.h",
+     '#include "field/grid.h"\n#include "util/morton.h"\n#include "local.h"\n', []),
+    ("src/storage/bad_up.h", '#include "sched/scheduler.h"\n', ["upward-include"]),
+    ("src/cache/bad_sibling.h", '#include "workload/job.h"\n', ["upward-include"]),
+    ("src/field/bad_unknown.h", '#include "vendor/blas.h"\n', ["unknown-module"]),
+    ("src/field/ok_waived.h",
+     '// jaws-lint: allow(upward-include) -- fixture: sanctioned exception.\n'
+     '#include "cache/buffer_cache.h"\n', []),
+    ("src/core/ok_top.cpp",
+     '#include "sched/scheduler.h"\n#include "workload/job.h"\n'
+     '#include "util/sim_time.h"\n', []),
+]
+
+# A fixture tree whose *edges* form a cycle strictly inside the allowed sets
+# is impossible (the sets are a partial order), so the cycle fixture also
+# trips upward-include; expect both.
+CYCLE_CASES = [
+    ("src/util/a.h", '// jaws-lint: allow(upward-include) -- fixture.\n'
+                     '#include "field/b.h"\n', []),
+    ("src/field/b.h", '#include "util/a.h"\n', []),
+]
+CYCLE_EXPECTED_RULE = "include-cycle"
+
+
+def write_fixture_tree(tmp: str, cases) -> None:
+    for rel, source, _expected in cases:
+        path = os.path.join(tmp, rel.replace("/", os.sep))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(source)
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="jaws_layering_selftest_") as tmp:
+        write_fixture_tree(tmp, SELFTEST_CASES)
+        found = lint_tree(tmp)
+        by_file: dict[str, list[Violation]] = {}
+        for v in found:
+            by_file.setdefault(v.path.replace(os.sep, "/"), []).append(v)
+        for rel, _source, expected in SELFTEST_CASES:
+            got = [v.rule for v in by_file.get(rel, [])]
+            if got != expected:
+                failures += 1
+                print(f"SELF-TEST FAIL {rel}: expected {expected}, got {got}",
+                      file=sys.stderr)
+    with tempfile.TemporaryDirectory(prefix="jaws_layering_cycle_") as tmp:
+        write_fixture_tree(tmp, CYCLE_CASES)
+        found = lint_tree(tmp)
+        rules = [v.rule for v in found]
+        if rules != [CYCLE_EXPECTED_RULE]:
+            failures += 1
+            print(f"SELF-TEST FAIL cycle tree: expected "
+                  f"['{CYCLE_EXPECTED_RULE}'], got {rules}", file=sys.stderr)
+            for v in found:
+                print(f"    {v}", file=sys.stderr)
+    if failures == 0:
+        print(f"lint_layering self-test: {len(SELFTEST_CASES) + 1} fixtures ok")
+        return 0
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the script's parent repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own fixture suite and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"lint_layering: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    violations = lint_tree(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\nlint_layering: {len(violations)} violation(s). Move the "
+              "dependency down the stack, or waive a sanctioned exception "
+              "with `// jaws-lint: allow(<rule>)` plus a justification.",
+              file=sys.stderr)
+        return 1
+    print("lint_layering: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

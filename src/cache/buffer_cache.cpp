@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/contracts.h"
+
 namespace jaws::cache {
 
 namespace {
@@ -61,11 +63,16 @@ std::optional<storage::AtomId> BufferCache::insert(
         assert(erased == 1);
         (void)erased;
         ++stats_.evictions;
+        ++evicted_;
         evicted = victim;
     }
     resident_.emplace(atom, std::move(payload));
-    OverheadTimer timer(stats_.policy_overhead_ns, ticks_);
-    policy_->on_insert(atom);
+    ++admitted_;
+    {
+        OverheadTimer timer(stats_.policy_overhead_ns, ticks_);
+        policy_->on_insert(atom);
+    }
+    JAWS_AUDIT((++audit_tick_ & 63) == 0 && audit());
     return evicted;
 }
 
@@ -84,17 +91,49 @@ void BufferCache::run_boundary() {
     policy_->on_run_boundary();
 }
 
-void BufferCache::clear() {
-    // Notify the policy in key order, not hash order: eviction callbacks
-    // mutate policy state (e.g. LRU-K's retained-history FIFO), so the
-    // notification order must not depend on the hash table's layout.
+std::vector<storage::AtomId> BufferCache::sorted_residents() const {
     std::vector<storage::AtomId> atoms;
     atoms.reserve(resident_.size());
     // jaws-lint: allow(unordered-iteration) -- order normalised by the sort below.
     for (const auto& [atom, payload] : resident_) atoms.push_back(atom);
     std::sort(atoms.begin(), atoms.end());
-    for (const storage::AtomId& atom : atoms) policy_->on_evict(atom);
+    return atoms;
+}
+
+void BufferCache::clear() {
+    // Notify the policy in key order, not hash order: eviction callbacks
+    // mutate policy state (e.g. LRU-K's retained-history FIFO), so the
+    // notification order must not depend on the hash table's layout.
+    for (const storage::AtomId& atom : sorted_residents()) policy_->on_evict(atom);
+    cleared_ += resident_.size();
     resident_.clear();
+    JAWS_AUDIT(audit());
+}
+
+bool BufferCache::audit() const {
+    bool ok = true;
+    const auto check = [&](bool cond, const char* expr, const char* msg) {
+        if (!cond) {
+            ok = false;
+            util::contract_violation(__FILE__, __LINE__, expr, msg);
+        }
+    };
+    check(resident_.size() <= capacity_, "size() <= capacity()",
+          "BufferCache: resident set exceeds capacity");
+    // Atom conservation: everything ever admitted is evicted, cleared, or
+    // still resident — nothing is lost and nothing double-counted.
+    check(admitted_ == evicted_ + cleared_ + resident_.size(),
+          "admitted == evicted + cleared + resident",
+          "BufferCache: atom conservation violated");
+    // An eviction happens only on the miss path, after a failed lookup or a
+    // direct insert; admissions can never outnumber misses plus direct
+    // inserts, and evictions can never outnumber admissions.
+    check(evicted_ <= admitted_, "evicted <= admitted",
+          "BufferCache: more evictions than admissions");
+    const std::vector<storage::AtomId> atoms = sorted_residents();
+    check(policy_->audit(atoms), "policy_->audit(resident)",
+          "BufferCache: replacement-policy state diverged from residency");
+    return ok;
 }
 
 }  // namespace jaws::cache

@@ -89,7 +89,19 @@ class BufferCache {
     /// Name of the installed policy.
     std::string policy_name() const { return policy_->name(); }
 
+    /// Exhaustive accounting self-check (automatic at transitions in audit
+    /// builds; callable from tests in any build): capacity respected, atom
+    /// conservation (every atom ever admitted was either evicted, cleared,
+    /// or is still resident), stats coherence, and the policy's own
+    /// bookkeeping matched against the cache's resident set. Reports through
+    /// util::contract_violation; returns true when clean.
+    bool audit() const;
+
   private:
+    /// Resident atom ids in sorted order (hash-order-independent snapshots
+    /// for clear()'s policy notifications and audit()'s policy check).
+    std::vector<storage::AtomId> sorted_residents() const;
+
     std::size_t capacity_;
     TickSource ticks_ = nullptr;  ///< nullptr = deterministic virtual ticks.
     std::unique_ptr<ReplacementPolicy> policy_;
@@ -97,6 +109,13 @@ class BufferCache {
                        storage::AtomIdHash>
         resident_;
     CacheStats stats_;
+    // Conservation ledger for audit(): new residencies ever admitted, atoms
+    // evicted, atoms dropped by clear(). Kept apart from stats_ (which
+    // reset_stats() zeroes) so the balance holds at every instant.
+    std::uint64_t admitted_ = 0;
+    std::uint64_t evicted_ = 0;
+    std::uint64_t cleared_ = 0;
+    std::uint64_t audit_tick_ = 0;  ///< Rate limiter for automatic audits.
 };
 
 }  // namespace jaws::cache

@@ -20,6 +20,7 @@ class LruPolicy final : public ReplacementPolicy {
     storage::AtomId pick_victim() override;
     void on_evict(const storage::AtomId& atom) override;
     std::string name() const override { return "LRU"; }
+    bool audit(const std::vector<storage::AtomId>& resident) const override;
 
   private:
     // Front = most recently used; back = victim.

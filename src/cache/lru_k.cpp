@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "util/contracts.h"
+
 namespace jaws::cache {
 
 LruKPolicy::LruKPolicy(unsigned k, std::size_t retained_history)
@@ -70,6 +72,41 @@ void LruKPolicy::on_evict(const storage::AtomId& atom) {
         retained_fifo_.pop_front();
         if (!resident_.contains(old)) history_.erase(old);
     }
+}
+
+bool LruKPolicy::audit(const std::vector<storage::AtomId>& resident) const {
+    bool ok = true;
+    const auto check = [&](bool cond, const char* expr, const char* msg) {
+        if (!cond) {
+            ok = false;
+            util::contract_violation(__FILE__, __LINE__, expr, msg);
+        }
+        return cond;
+    };
+    check(resident_.size() == resident.size(),
+          "LRU-K tracks exactly the resident set",
+          "LruKPolicy: tracked size diverged from the cache's resident set");
+    for (const storage::AtomId& atom : resident) {
+        check(resident_.contains(atom), "resident atom tracked",
+              "LruKPolicy: resident atom missing from the tracked set");
+        const auto h = history_.find(atom);
+        if (!check(h != history_.end(), "resident atom has history",
+                   "LruKPolicy: resident atom without a reference history"))
+            continue;
+        const auto& refs = h->second.refs;
+        check(!refs.empty() && refs.size() <= k_, "1 <= |refs| <= k",
+              "LruKPolicy: reference history out of bounds");
+        bool decreasing = true;
+        for (std::size_t i = 1; i < refs.size(); ++i)
+            decreasing = decreasing && refs[i - 1] > refs[i];
+        check(decreasing && refs.front() <= tick_,
+              "refs strictly decreasing and <= tick",
+              "LruKPolicy: reference history out of order");
+    }
+    check(retained_fifo_.size() <= retained_cap_ + resident.size(),
+          "retained history bounded",
+          "LruKPolicy: retained-history FIFO exceeds its bound");
+    return ok;
 }
 
 }  // namespace jaws::cache

@@ -29,6 +29,7 @@ class LruKPolicy final : public ReplacementPolicy {
     storage::AtomId pick_victim() override;
     void on_evict(const storage::AtomId& atom) override;
     std::string name() const override { return "LRU-" + std::to_string(k_); }
+    bool audit(const std::vector<storage::AtomId>& resident) const override;
 
   private:
     struct History {

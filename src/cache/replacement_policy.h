@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "storage/atom.h"
 
@@ -51,6 +52,16 @@ class ReplacementPolicy {
     /// End of one workload run (r consecutive queries). SLRU performs its
     /// protected-segment promotion here; others ignore it.
     virtual void on_run_boundary() {}
+
+    /// Self-check against the cache's ground truth (audit builds and tests):
+    /// `resident` is the cache's resident set in sorted order; the policy
+    /// verifies its own bookkeeping tracks exactly that set and its internal
+    /// structures are mutually consistent, reporting inconsistencies through
+    /// util::contract_violation. Returns true when clean.
+    virtual bool audit(const std::vector<storage::AtomId>& resident) const {
+        (void)resident;
+        return true;
+    }
 
     /// Human-readable policy name for reports.
     virtual std::string name() const = 0;

@@ -33,6 +33,7 @@ class SlruPolicy final : public ReplacementPolicy {
     void on_evict(const storage::AtomId& atom) override;
     void on_run_boundary() override;
     std::string name() const override { return "SLRU"; }
+    bool audit(const std::vector<storage::AtomId>& resident) const override;
 
     /// Number of atoms currently in the protected segment (for tests).
     std::size_t protected_size() const noexcept { return protected_.size(); }

@@ -31,6 +31,7 @@ class TwoQPolicy final : public ReplacementPolicy {
     storage::AtomId pick_victim() override;
     void on_evict(const storage::AtomId& atom) override;
     std::string name() const override { return "2Q"; }
+    bool audit(const std::vector<storage::AtomId>& resident) const override;
 
     /// Segment sizes for tests.
     std::size_t a1in_size() const noexcept { return a1in_.size(); }

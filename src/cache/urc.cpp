@@ -1,7 +1,10 @@
 #include "cache/urc.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
+
+#include "util/contracts.h"
 
 namespace jaws::cache {
 
@@ -39,11 +42,16 @@ storage::AtomId UrcPolicy::pick_victim() {
                                        oracle_.timestep_mean_utility(atom.timestep));
         const double own = oracle_.atom_utility(atom);
         const std::uint64_t touch = last_touch_.at(atom);
+        // jaws-lint: allow(float-equality) -- exact tie-breaks: mean and own
+        // are computed identically for every resident of a step, so equal
+        // doubles really are the same value; a tolerance would make the
+        // victim depend on scan order.
+        const bool step_tie = mean == best_step, atom_tie = own == best_atom;
         const bool better =
             victim == nullptr || mean < best_step ||
-            (mean == best_step &&
+            (step_tie &&
              (own < best_atom ||
-              (own == best_atom &&
+              (atom_tie &&
                (touch < best_touch || (touch == best_touch && atom < *victim)))));
         if (better) {
             best_step = mean;
@@ -58,6 +66,30 @@ storage::AtomId UrcPolicy::pick_victim() {
 void UrcPolicy::on_evict(const storage::AtomId& atom) {
     resident_.erase(atom);
     last_touch_.erase(atom);
+}
+
+bool UrcPolicy::audit(const std::vector<storage::AtomId>& resident) const {
+    bool ok = true;
+    const auto check = [&](bool cond, const char* expr, const char* msg) {
+        if (!cond) {
+            ok = false;
+            util::contract_violation(__FILE__, __LINE__, expr, msg);
+        }
+        return cond;
+    };
+    check(resident_.size() == resident.size() &&
+              last_touch_.size() == resident.size(),
+          "URC tracks exactly the resident set",
+          "UrcPolicy: tracked size diverged from the cache's resident set");
+    for (const storage::AtomId& atom : resident) {
+        check(resident_.contains(atom), "resident atom tracked",
+              "UrcPolicy: resident atom missing from the tracked set");
+        const auto touch = last_touch_.find(atom);
+        check(touch != last_touch_.end() && touch->second <= tick_,
+              "resident atom has a valid touch tick",
+              "UrcPolicy: recency tick missing or ahead of the counter");
+    }
+    return ok;
 }
 
 }  // namespace jaws::cache

@@ -28,6 +28,7 @@ class UrcPolicy final : public ReplacementPolicy {
     storage::AtomId pick_victim() override;
     void on_evict(const storage::AtomId& atom) override;
     std::string name() const override { return "URC"; }
+    bool audit(const std::vector<storage::AtomId>& resident) const override;
 
   private:
     const UtilityOracle& oracle_;

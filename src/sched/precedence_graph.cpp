@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "sched/alignment.h"
+#include "util/contracts.h"
 
 namespace jaws::sched {
 
@@ -116,6 +117,7 @@ void PrecedenceGraph::add_job(const workload::Job& job) {
         if (admitted_any) recompute_gating_numbers(c.other);
     }
     recompute_gating_numbers(job.id);
+    JAWS_AUDIT(audit());
 }
 
 bool PrecedenceGraph::edge_allowed_between(const Node& a, const Node& b,
@@ -340,6 +342,7 @@ std::vector<workload::QueryId> PrecedenceGraph::on_query_done(workload::QueryId 
     if (it != jobs_.end() && --it->second.remaining == 0) jobs_.erase(it);
     // Pruning cannot newly satisfy a gate (DONE already satisfied it), so no
     // promotions result; kept as a hook point for symmetry.
+    JAWS_AUDIT(audit());
     return {};
 }
 
@@ -393,6 +396,16 @@ bool PrecedenceGraph::check_invariants() const {
         if (would_deadlock(any, any, {})) return false;
     }
     return true;
+}
+
+bool PrecedenceGraph::audit() const {
+    const bool ok = check_invariants();
+    if (!ok)
+        util::contract_violation(__FILE__, __LINE__, "check_invariants()",
+                                 "PrecedenceGraph: gating/precedence invariants "
+                                 "violated (state counts, edge symmetry, "
+                                 "one-edge-per-job-pair, or acyclicity)");
+    return ok;
 }
 
 }  // namespace jaws::sched

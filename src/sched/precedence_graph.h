@@ -92,6 +92,11 @@ class PrecedenceGraph {
     /// deadlock freedom of the active graph.
     bool check_invariants() const;
 
+    /// check_invariants() reported through util::contract_violation (audit
+    /// builds run it automatically after every add_job / on_query_done and
+    /// promotion pass). Returns true when clean.
+    bool audit() const;
+
   private:
     struct Node {
         workload::QueryId id = 0;

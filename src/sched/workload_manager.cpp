@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "util/contracts.h"
 
 namespace jaws::sched {
 
@@ -62,6 +65,7 @@ void WorkloadManager::enqueue(const SubQuery& sub) {
     total_positions_ += sub.positions;
     ++total_subqueries_;
     index_insert(sub.atom, q);
+    JAWS_AUDIT((++audit_tick_ & 63) == 0 && audit());
 }
 
 std::vector<SubQuery> WorkloadManager::drain_atom(const storage::AtomId& atom) {
@@ -74,6 +78,7 @@ std::vector<SubQuery> WorkloadManager::drain_atom(const storage::AtomId& atom) {
     total_positions_ -= it->second.positions;
     total_subqueries_ -= items.size();
     queues_.erase(it);
+    JAWS_AUDIT((++audit_tick_ & 63) == 0 && audit());
     return items;
 }
 
@@ -146,6 +151,8 @@ double WorkloadManager::timestep_mean_utility(std::uint32_t t) const {
 
 void WorkloadManager::set_alpha(double alpha) {
     assert(alpha >= 0.0 && alpha <= 1.0);
+    // jaws-lint: allow(float-equality) -- exact-identity fast path only: a
+    // missed match merely rebuilds the index (correct either way).
     if (alpha == alpha_) return;
     alpha_ = alpha;
     rebuild_index();
@@ -163,6 +170,96 @@ void WorkloadManager::rebuild_index() {
     for (auto& [atom, q] : queues_) atoms.push_back(atom);
     std::sort(atoms.begin(), atoms.end());
     for (const storage::AtomId& atom : atoms) index_insert(atom, queues_.at(atom));
+    JAWS_AUDIT(audit());
+}
+
+bool WorkloadManager::audit() const {
+    bool ok = true;
+    const auto check = [&](bool cond, const char* expr, const char* msg) {
+        if (!cond) {
+            ok = false;
+            util::contract_violation(__FILE__, __LINE__, expr, msg);
+        }
+    };
+    // The incremental step aggregates accumulate floating-point sums in
+    // insertion order; re-deriving them in sorted order is only equal up to
+    // rounding, so aggregate comparisons use a relative tolerance.
+    const auto close = [](double a, double b) {
+        return std::abs(a - b) <= 1e-9 * (1.0 + std::abs(a) + std::abs(b));
+    };
+
+    std::uint64_t positions = 0;
+    std::size_t subqueries = 0;
+    std::map<std::uint32_t, std::pair<double, std::size_t>> step_sums;  // (U_t sum, atoms)
+    std::map<std::uint32_t, double> step_key_sums;
+    std::size_t deadlined = 0;
+    // jaws-lint: allow(unordered-iteration) -- read-only validation; every
+    // per-queue check is independent and the re-derived sums are compared
+    // with a tolerance, so hash order cannot change the audit verdict.
+    for (const auto& [atom, q] : queues_) {
+        check(!q.items.empty(), "no empty atom queue is retained",
+              "WorkloadManager: empty workload queue left in the map");
+        std::uint64_t queue_positions = 0;
+        util::SimTime oldest = q.items.empty() ? util::SimTime::zero()
+                                               : q.items.front().enqueue_time;
+        util::SimTime min_deadline{INT64_MAX};
+        for (const SubQuery& sub : q.items) {
+            queue_positions += sub.positions;
+            oldest = std::min(oldest, sub.enqueue_time);
+            min_deadline = std::min(min_deadline, sub.deadline);
+        }
+        check(q.positions == queue_positions, "cached positions re-derive",
+              "WorkloadManager: per-atom position count out of sync");
+        check(q.oldest == oldest, "cached oldest re-derives",
+              "WorkloadManager: per-atom oldest enqueue time out of sync");
+        check(q.min_deadline == min_deadline, "cached min deadline re-derives",
+              "WorkloadManager: per-atom deadline cache out of sync");
+        check(close(q.utility, compute_utility(atom, q)), "cached U_t re-derives",
+              "WorkloadManager: cached utility out of sync with Eq. 1");
+        check(order_.count({-q.key, atom.key()}) == 1, "ranking entry present",
+              "WorkloadManager: atom missing from the ordered ranking");
+        const auto step = steps_.find(atom.timestep);
+        check(step != steps_.end() &&
+                  step->second.by_utility.count({-q.utility, atom.key()}) == 1,
+              "per-step index entry present",
+              "WorkloadManager: atom missing from its step's utility index");
+        positions += queue_positions;
+        subqueries += q.items.size();
+        auto& sums = step_sums[atom.timestep];
+        sums.first += q.utility;
+        ++sums.second;
+        step_key_sums[atom.timestep] += q.key;
+        if (min_deadline.micros != INT64_MAX) {
+            ++deadlined;
+            check(deadlines_.count({min_deadline.micros, atom.key()}) == 1,
+                  "deadline index entry present",
+                  "WorkloadManager: deadlined atom missing from the index");
+        }
+    }
+    check(positions == total_positions_, "total positions re-derive",
+          "WorkloadManager: global position total out of sync");
+    check(subqueries == total_subqueries_, "total sub-queries re-derive",
+          "WorkloadManager: global sub-query total out of sync");
+    check(order_.size() == queues_.size(), "one ranking entry per atom",
+          "WorkloadManager: ordered ranking size out of sync");
+    check(deadlines_.size() == deadlined, "one deadline entry per deadlined atom",
+          "WorkloadManager: deadline index size out of sync");
+    check(steps_.size() == step_sums.size(), "one aggregate per pending step",
+          "WorkloadManager: stale per-step aggregate retained");
+    for (const auto& [t, agg] : steps_) {
+        const auto sums = step_sums.find(t);
+        if (sums == step_sums.end()) continue;  // size mismatch reported above
+        check(agg.atoms == sums->second.second &&
+                  agg.by_utility.size() == sums->second.second,
+              "step atom count re-derives",
+              "WorkloadManager: per-step atom count out of sync");
+        check(close(agg.utility_sum, sums->second.first),
+              "step utility sum re-derives",
+              "WorkloadManager: per-step utility aggregate out of sync");
+        check(close(agg.key_sum, step_key_sums[t]), "step key sum re-derives",
+              "WorkloadManager: per-step key aggregate out of sync");
+    }
+    return ok;
 }
 
 }  // namespace jaws::sched

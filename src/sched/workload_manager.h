@@ -106,6 +106,14 @@ class WorkloadManager final : public cache::UtilityOracle {
     // --- introspection ---
 
     bool empty() const noexcept { return queues_.empty(); }
+
+    /// Exhaustive consistency check between the atom queues and the derived
+    /// indexes (automatic at transitions in audit builds; callable from
+    /// tests): per-queue position/deadline caches, global totals, the
+    /// ordered ranking, per-step aggregates, and the deadline index must all
+    /// re-derive from the queues exactly. Reports through
+    /// util::contract_violation; returns true when clean.
+    bool audit() const;
     /// The cost constants in effect (schedulers derive service estimates).
     const CostConstants& cost() const noexcept { return cost_; }
     std::size_t pending_atoms() const noexcept { return queues_.size(); }
@@ -147,6 +155,7 @@ class WorkloadManager final : public cache::UtilityOracle {
     std::set<std::pair<std::int64_t, std::uint64_t>> deadlines_;
     std::uint64_t total_positions_ = 0;
     std::size_t total_subqueries_ = 0;
+    std::uint64_t audit_tick_ = 0;  ///< Rate limiter for automatic audits.
 };
 
 }  // namespace jaws::sched

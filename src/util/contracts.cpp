@@ -1,0 +1,36 @@
+#include "util/contracts.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace jaws::util {
+
+namespace {
+
+void default_handler(const char* file, int line, const char* expr, const char* msg) {
+    std::fprintf(stderr, "JAWS contract violation at %s:%d\n  check: %s\n  %s\n",
+                 file, line, expr, msg);
+    std::abort();
+}
+
+std::atomic<ContractHandler> g_handler{&default_handler};
+std::atomic<std::uint64_t> g_violations{0};
+
+}  // namespace
+
+ContractHandler set_contract_handler(ContractHandler handler) noexcept {
+    return g_handler.exchange(handler != nullptr ? handler : &default_handler);
+}
+
+std::uint64_t contract_violations() noexcept {
+    return g_violations.load(std::memory_order_relaxed);
+}
+
+void contract_violation(const char* file, int line, const char* expr,
+                        const char* msg) {
+    g_violations.fetch_add(1, std::memory_order_relaxed);
+    g_handler.load()(file, line, expr, msg);
+}
+
+}  // namespace jaws::util

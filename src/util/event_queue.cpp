@@ -1,8 +1,12 @@
 #include "util/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
+
+#include "util/contracts.h"
 
 namespace jaws::util {
 
@@ -13,43 +17,78 @@ namespace jaws::util {
 void EventQueue::reset_to(SimTime t) {
     if (!handlers_.empty())
         throw std::logic_error("EventQueue::reset_to: events still pending");
-    while (!heap_.empty()) heap_.pop();  // drop cancelled tombstones
+    heap_.clear();  // drop cancelled tombstones
     now_ = t;
 }
 
 EventQueue::EventId EventQueue::schedule(SimTime at, int priority, Handler fn) {
     const EventId id = next_id_++;
     if (at < now_) at = now_;  // the past is immutable; fire as soon as possible
-    heap_.push(Entry{at, priority, id});
+    heap_.push_back(Entry{at, priority, id});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>{});
     handlers_.emplace(id, std::move(fn));
+    JAWS_AUDIT((++audit_tick_ & 63) == 0 && audit());
     return id;
 }
 
 bool EventQueue::cancel(EventId id) { return handlers_.erase(id) > 0; }
 
 void EventQueue::drop_cancelled() {
-    while (!heap_.empty() && handlers_.find(heap_.top().seq) == handlers_.end())
-        heap_.pop();
+    while (!heap_.empty() && handlers_.find(heap_.front().seq) == handlers_.end()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>{});
+        heap_.pop_back();
+    }
 }
 
 SimTime EventQueue::next_time() const {
     const_cast<EventQueue*>(this)->drop_cancelled();
     assert(!heap_.empty());
-    return heap_.top().at;
+    return heap_.front().at;
 }
 
 bool EventQueue::run_one() {
     drop_cancelled();
     if (heap_.empty()) return false;
-    const Entry top = heap_.top();
-    heap_.pop();
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>{});
+    heap_.pop_back();
     auto it = handlers_.find(top.seq);
     assert(it != handlers_.end());
     Handler fn = std::move(it->second);
     handlers_.erase(it);
     now_ = top.at;  // monotone: entries are never scheduled before now_
+    JAWS_AUDIT((++audit_tick_ & 63) == 0 && audit());
     fn();
     return true;
+}
+
+bool EventQueue::audit() const {
+    bool ok = true;
+    const auto check = [&](bool cond, const char* expr, const char* msg) {
+        if (!cond) {
+            ok = false;
+            contract_violation(__FILE__, __LINE__, expr, msg);
+        }
+    };
+    check(std::is_heap(heap_.begin(), heap_.end(), std::greater<Entry>{}),
+          "is_heap(heap_)", "EventQueue: heap order violated");
+    std::unordered_set<EventId> seen;
+    std::size_t live = 0;
+    for (const Entry& e : heap_) {
+        check(seen.insert(e.seq).second, "unique(entry.seq)",
+              "EventQueue: duplicate event id in heap");
+        check(e.seq < next_id_, "entry.seq < next_id_",
+              "EventQueue: entry id ahead of the id counter");
+        if (handlers_.find(e.seq) == handlers_.end()) continue;  // tombstone
+        ++live;
+        check(e.at >= now_, "entry.at >= now()",
+              "EventQueue: pending event scheduled behind the clock");
+    }
+    // Every live handler id must have exactly one heap entry, or it can
+    // never fire (ids are unique, so equality of counts proves the map).
+    check(live == handlers_.size(), "live heap entries == handlers",
+          "EventQueue: dangling handler with no heap entry");
+    return ok;
 }
 
 // --------------------------------------------------------------------------
@@ -91,6 +130,7 @@ void SimResource::submit(Job job) {
     for (std::size_t c = 0; c < channels_.size(); ++c) {
         if (!channels_[c].busy) {
             start_on(c, std::move(job));
+            JAWS_AUDIT(audit());
             return;
         }
     }
@@ -113,10 +153,12 @@ void SimResource::submit(Job job) {
             ch.completion = events_.schedule(ch.started + ch.duration,
                                              completion_priority_,
                                              [this, chan] { finish(chan); });
+            JAWS_AUDIT(audit());
             return;
         }
     }
     waiting_[job.priority].push_back(std::move(job));
+    JAWS_AUDIT(audit());
 }
 
 void SimResource::start_on(std::size_t channel, Job&& job) {
@@ -148,8 +190,46 @@ void SimResource::finish(std::size_t channel) {
         start_on(channel, std::move(next));
         break;
     }
+    JAWS_AUDIT(audit());
     if (done.on_complete) done.on_complete(channel);
     if (has_free_channel() && waiting_.empty() && idle_hook_) idle_hook_();
+}
+
+bool SimResource::audit() const {
+    bool ok = true;
+    const auto check = [&](bool cond, const char* expr, const char* msg) {
+        if (!cond) {
+            ok = false;
+            contract_violation(__FILE__, __LINE__, expr, msg);
+        }
+    };
+    const SimTime now = events_.now();
+    std::size_t busy_count = 0;
+    for (const Channel& ch : channels_) {
+        if (!ch.busy) continue;
+        ++busy_count;
+        check(events_.pending(ch.completion), "events_.pending(ch.completion)",
+              "SimResource: busy channel without a live completion event");
+        check(ch.started + ch.duration >= now, "ch.started + ch.duration >= now",
+              "SimResource: busy channel's service already elapsed");
+        check(ch.started <= now, "ch.started <= now",
+              "SimResource: channel service starts in the future");
+    }
+    check(busy_count == busy_, "busy channel flags == busy_",
+          "SimResource: busy count out of sync with channel flags");
+    for (const auto& [pri, q] : waiting_)
+        check(!q.empty(), "!waiting_[pri].empty()",
+              "SimResource: empty priority class retained in waiting map");
+    // Work only queues while every channel is busy (submit() drains free
+    // channels first; finish() backfills from the queue).
+    if (queued() > 0)
+        check(busy_ == channels_.size(), "queued() implies all channels busy",
+              "SimResource: jobs waiting while a channel is free");
+    check(last_change_ <= now, "last_change_ <= now",
+          "SimResource: busy integral accounted ahead of the clock");
+    check(busy_integral_.micros >= 0, "busy_integral_ >= 0",
+          "SimResource: negative busy-time integral");
+    return ok;
 }
 
 }  // namespace jaws::util

@@ -26,7 +26,6 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +56,10 @@ class EventQueue {
     /// cancelled. O(1); the heap entry is lazily discarded.
     bool cancel(EventId id);
 
+    /// Whether `id` names a pending (scheduled, not yet run or cancelled)
+    /// event. Audits use this to prove completion events are still live.
+    bool pending(EventId id) const { return handlers_.find(id) != handlers_.end(); }
+
     /// Whether any non-cancelled event is pending.
     bool empty() const noexcept { return handlers_.empty(); }
 
@@ -69,6 +72,13 @@ class EventQueue {
     /// Advance the clock to the earliest pending event and run its handler.
     /// Returns false (and leaves the clock alone) when no event is pending.
     bool run_one();
+
+    /// Exhaustive self-check (audit builds call this automatically at
+    /// transitions; tests call it directly): heap order, monotone timestamps
+    /// (no live entry behind the clock), exactly one heap entry per live
+    /// handler id, no duplicate ids, id counter ahead of every entry.
+    /// Reports through util::contract_violation; returns true when clean.
+    bool audit() const;
 
   private:
     struct Entry {
@@ -85,10 +95,16 @@ class EventQueue {
 
     void drop_cancelled();
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+    // A min-heap kept by std::push_heap/pop_heap over a plain vector (rather
+    // than std::priority_queue) so audit() can scan the pending entries.
+    std::vector<Entry> heap_;
     std::unordered_map<EventId, Handler> handlers_;
     EventId next_id_ = 0;
     SimTime now_ = SimTime::zero();
+    // Rate limiter for the automatic audits of JAWS_AUDIT_BUILD: a full
+    // audit is O(pending), so auditing every transition would make large
+    // audit-build runs quadratic. Unused in normal builds.
+    std::uint64_t audit_tick_ = 0;
 };
 
 /// A modelled hardware resource: `channels` parallel service channels in
@@ -137,6 +153,13 @@ class SimResource {
     /// Called whenever a channel goes idle with an empty waiting queue (the
     /// engine uses this to issue background prefetch reads).
     void set_idle_hook(std::function<void()> hook) { idle_hook_ = std::move(hook); }
+
+    /// Exhaustive channel-accounting self-check: busy_ matches the per-channel
+    /// flags, every busy channel's completion event is still pending and ends
+    /// at or after now, the waiting map holds no empty class queues, and the
+    /// busy-time integral never runs ahead of wall (virtual) time. Reports
+    /// through util::contract_violation; returns true when clean.
+    bool audit() const;
 
   private:
     struct Channel {

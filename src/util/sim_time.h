@@ -7,6 +7,7 @@
 // as integer microseconds to avoid floating-point drift in long runs.
 #pragma once
 
+#include <cmath>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -19,11 +20,14 @@ struct SimTime {
 
     static constexpr SimTime zero() noexcept { return SimTime{0}; }
     static constexpr SimTime from_micros(std::int64_t us) noexcept { return SimTime{us}; }
-    static constexpr SimTime from_millis(double ms) noexcept {
-        return SimTime{static_cast<std::int64_t>(ms * 1e3)};
+    // Round to the nearest microsecond (half away from zero, like llround):
+    // truncation would drop up to 1 us per conversion, and those errors
+    // accumulate over the millions of conversions in a long run.
+    static SimTime from_millis(double ms) noexcept {
+        return SimTime{std::llround(ms * 1e3)};
     }
-    static constexpr SimTime from_seconds(double s) noexcept {
-        return SimTime{static_cast<std::int64_t>(s * 1e6)};
+    static SimTime from_seconds(double s) noexcept {
+        return SimTime{std::llround(s * 1e6)};
     }
 
     constexpr double seconds() const noexcept { return static_cast<double>(micros) * 1e-6; }

@@ -41,6 +41,8 @@ std::vector<AtomRequest> footprint_of_positions(const field::GridSpec& grid,
     for (const auto& p : positions) ++counts[grid.atom_morton_of(p)];
     std::vector<AtomRequest> out;
     out.reserve(counts.size());
+    // jaws-lint: allow(unordered-iteration) -- order normalised by the
+    // Morton sort directly below; the emitted footprint never sees it.
     for (const auto& [code, n] : counts)
         out.push_back(AtomRequest{storage::AtomId{timestep, code}, n});
     std::sort(out.begin(), out.end(), [](const AtomRequest& a, const AtomRequest& b) {

@@ -101,6 +101,77 @@ TEST(EventQueue, CancelledEventsDoNotFire) {
     EXPECT_EQ(fired, 1);
 }
 
+TEST(EventQueue, CancelOnEmptyQueueIsANoOp) {
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(0));     // nothing was ever scheduled
+    EXPECT_FALSE(q.cancel(12345)); // id from nowhere
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.run_one());
+    EXPECT_TRUE(q.audit());
+}
+
+TEST(EventQueue, CancelOfAlreadyFiredIdFailsAndDoesNotTouchLaterEvents) {
+    EventQueue q;
+    int fired = 0;
+    const auto first = q.schedule(us(10), 0, [&] { ++fired; });
+    q.schedule(us(20), 0, [&] { ++fired; });
+    ASSERT_TRUE(q.run_one());       // fires `first`
+    EXPECT_FALSE(q.pending(first));
+    EXPECT_FALSE(q.cancel(first));  // already ran: reject, ids are never reused
+    EXPECT_EQ(q.pending(), 1u);     // the 20us event is untouched
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelFromInsideAHandlerSuppressesALaterEvent) {
+    EventQueue q;
+    std::vector<int> order;
+    const auto doomed = q.schedule(us(30), 0, [&] { order.push_back(3); });
+    q.schedule(us(10), 0, [&] {
+        order.push_back(1);
+        EXPECT_TRUE(q.cancel(doomed));
+    });
+    q.schedule(us(20), 0, [&] { order.push_back(2); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now().micros, 20);  // the cancelled tail never advances the clock
+}
+
+TEST(EventQueue, InterleavedScheduleAndCancelPreservesDeterministicOrder) {
+    // Build the same surviving event set twice — once cancelling as we go,
+    // once cancelling in reverse at the end — and check both runs fire the
+    // survivors in the identical (time, priority, insertion) order, with the
+    // cancellations leaving no trace.
+    const auto build = [](bool cancel_late, std::vector<int>& order) {
+        EventQueue q;
+        std::vector<EventQueue::EventId> doomed;
+        for (int i = 0; i < 50; ++i) {
+            const auto id =
+                q.schedule(us(10 + (i * 7) % 40), i % 3, [&, i] { order.push_back(i); });
+            if (i % 2 == 1) {
+                doomed.push_back(id);
+                if (!cancel_late) EXPECT_TRUE(q.cancel(id));
+            }
+        }
+        if (cancel_late)
+            for (auto it = doomed.rbegin(); it != doomed.rend(); ++it)
+                EXPECT_TRUE(q.cancel(*it));
+        EXPECT_EQ(q.pending(), 25u);
+        EXPECT_TRUE(q.audit());
+        while (q.run_one()) {
+        }
+        EXPECT_TRUE(q.empty());
+    };
+    std::vector<int> eager, late;
+    build(false, eager);
+    build(true, late);
+    ASSERT_EQ(eager.size(), 25u);
+    EXPECT_EQ(eager, late);
+    for (int i : eager) EXPECT_EQ(i % 2, 0);  // every odd event was cancelled
+}
+
 TEST(EventQueue, NextTimeSkipsCancelledEntries) {
     EventQueue q;
     const auto id = q.schedule(us(10), 0, [] {});

@@ -13,6 +13,25 @@ TEST(SimTime, Conversions) {
     EXPECT_DOUBLE_EQ(SimTime::from_micros(1'500).millis(), 1.5);
 }
 
+TEST(SimTime, ConversionsRoundToNearestMicrosecond) {
+    // Truncation used to drop up to 1 us per conversion: 0.0024 ms is 2.4 us
+    // and must round to 2, not chop through intermediate float error; 2.6 us
+    // rounds up to 3. Same for seconds.
+    EXPECT_EQ(SimTime::from_millis(0.0024).micros, 2);
+    EXPECT_EQ(SimTime::from_millis(0.0026).micros, 3);
+    EXPECT_EQ(SimTime::from_millis(0.9999).micros, 1'000);
+    EXPECT_EQ(SimTime::from_seconds(0.9999996).micros, 1'000'000);
+    EXPECT_EQ(SimTime::from_seconds(1e-7).micros, 0);
+    // Half-way cases round away from zero (llround semantics), including for
+    // negative spans.
+    EXPECT_EQ(SimTime::from_millis(0.0005).micros, 1);
+    EXPECT_EQ(SimTime::from_millis(-0.0005).micros, -1);
+    EXPECT_EQ(SimTime::from_millis(-0.0024).micros, -2);
+    // 86.9 ms of exponential think time (a value the generator actually
+    // produces) keeps its nearest microsecond.
+    EXPECT_EQ(SimTime::from_seconds(0.0869995).micros, 87'000);
+}
+
 TEST(SimTime, Arithmetic) {
     const SimTime a = SimTime::from_millis(5);
     const SimTime b = SimTime::from_millis(3);
