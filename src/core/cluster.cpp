@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <unordered_set>
@@ -62,7 +63,13 @@ std::vector<workload::Workload> TurbulenceCluster::partition(
                 if (split[n].empty()) continue;
                 workload::Query part = q;
                 part.footprint = std::move(split[n]);
-                part.positions.clear();  // scheduling-scale runs are descriptor-only
+                // Positions follow their owning node (materialised runs
+                // evaluate them there); descriptor-only queries carry none.
+                part.positions.clear();
+                for (const auto& p : q.positions)
+                    if (node_of(config_.node.grid.atom_morton_of(p), aps,
+                                config_.nodes) == n)
+                        part.positions.push_back(p);
                 part.seq_in_job = static_cast<std::uint32_t>(projected[n].queries.size());
                 projected[n].queries.push_back(std::move(part));
             }
@@ -150,15 +157,29 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
     for (const storage::NodeDownEvent& ev : config_.node.faults.node_down)
         if (ev.at < death[ev.node]) death[ev.node] = ev.at;
 
+    // One evaluation pool shared across every node engine and recovery run:
+    // real interpolation from all nodes multiplexes onto a single set of
+    // worker threads instead of each engine spawning nodes × workers of its
+    // own. Descriptor-only runs never create one.
+    std::unique_ptr<util::ThreadPool> shared_eval;
+    EngineConfig node_template = config_.node;
+    if (node_template.eval.pool == nullptr && node_template.eval.parallel &&
+        node_template.materialize_data) {
+        shared_eval = std::make_unique<util::ThreadPool>(
+            node_template.eval.threads != 0 ? node_template.eval.threads
+                                            : node_template.compute_workers);
+        node_template.eval.pool = shared_eval.get();
+    }
+
     util::ThreadPool pool(std::min<std::size_t>(config_.nodes, 8));
     NodeRunCollector collector(parts.size());
     for (std::size_t n = 0; n < parts.size(); ++n) {
-        pool.submit([this, &parts, &death, &collector, n] {
+        pool.submit([&parts, &death, &collector, &node_template, n] {
             try {
                 NodeRun out;
                 const workload::Workload& part = parts[n];
                 if (!part.jobs.empty()) {
-                    EngineConfig cfg = config_.node;
+                    EngineConfig cfg = node_template;
                     cfg.halt_at = death[n];
                     Engine engine(cfg);
                     out.report = engine.run(part);
@@ -239,7 +260,7 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
             job.arrival = std::max(job.arrival, recovery_start);
         report.requeued_queries += rerun.total_queries();
 
-        Engine engine(config_.node);
+        Engine engine(node_template);
         RunReport rec = engine.run(rerun);
         ++report.failovers;
         accumulate(rec);

@@ -19,6 +19,10 @@
 #include "storage/atom_store.h"
 #include "storage/database_node.h"
 
+namespace jaws::util {
+class ThreadPool;
+}  // namespace jaws::util
+
 namespace jaws::core {
 
 /// Which replacement policy the buffer cache runs (Table I's rows).
@@ -47,6 +51,36 @@ struct SchedulerSpec {
     SchedulerKind kind = SchedulerKind::kJaws;
     double liferaft_alpha = 0.0;  ///< Fixed alpha for kLifeRaft.
     sched::JawsConfig jaws;       ///< Parameters for kJaws.
+};
+
+/// Real-thread evaluation of sub-query interpolation.
+///
+/// The modeled CPU pool (`compute_workers` SimResource channels) stays
+/// authoritative for *virtual* time; this spec only controls where the real
+/// interpolation work runs. With `parallel` on and materialised data, the
+/// engine dispatches each sub-query's interpolation onto a util::ThreadPool
+/// when its modeled service starts and joins the result at the modeled
+/// completion event — so real work overlaps exactly as the modeled channels
+/// do, and results merge in deterministic virtual-event order.
+struct EvalSpec {
+    /// Evaluate on a thread pool instead of inline in the event handler.
+    /// Only takes effect when the run materialises data; descriptor-only
+    /// runs never spawn threads.
+    bool parallel = true;
+
+    /// Worker threads for an engine-owned pool; 0 means `compute_workers`
+    /// (matching real threads to modeled channels).
+    std::size_t threads = 0;
+
+    /// Externally owned pool to share across engines (the cluster facade
+    /// points every node engine here). Non-null wins over `threads`; the
+    /// caller keeps it alive for the engine's lifetime.
+    util::ThreadPool* pool = nullptr;
+
+    /// Measure real evaluation wall time (util::wall_clock_ns) into
+    /// RunReport::eval_wall_ns. Bench-only, like CacheSpec's equivalent:
+    /// deterministic runs keep it off.
+    bool wall_clock_timing = false;
 };
 
 /// Recovery policy for injected transient read errors: failed demand reads
@@ -79,6 +113,9 @@ struct EngineConfig {
     /// evaluation of distinct batch items proceeds concurrently on up to this
     /// many servers. 1 reproduces the historical serial semantics.
     std::size_t compute_workers = 1;
+
+    /// Real-thread dispatch of sub-query evaluation (see EvalSpec).
+    EvalSpec eval;
     storage::CostModel compute;        ///< Actual per-position cost charged (T_m).
     sched::CostConstants estimates;    ///< T_b/T_m estimates used by Eq. 1.
     CacheSpec cache;

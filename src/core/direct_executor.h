@@ -18,6 +18,7 @@
 #include "field/interpolation.h"
 #include "storage/atom_store.h"
 #include "storage/database_node.h"
+#include "util/thread_pool.h"
 
 namespace jaws::core {
 
@@ -44,10 +45,19 @@ struct VolumeStats {
 };
 
 /// Synchronous executor over materialised atoms.
+///
+/// Evaluation is two-phase: a serial I/O phase reads and caches every touched
+/// atom in Morton order (cost accounting stays deterministic), then the
+/// per-atom interpolation runs — on a thread pool when `config.eval` enables
+/// one, inline otherwise. Per-atom results land in disjoint slots of the
+/// output vector and merge in Morton order, so samples are bit-identical for
+/// any worker count.
 class DirectExecutor {
   public:
     /// Builds its own store with materialisation forced on; `config.cache`
-    /// sizes the private cache.
+    /// sizes the private cache and `config.eval` selects the evaluation pool
+    /// (an external pool wins; otherwise one is owned when the resolved
+    /// thread count exceeds 1).
     explicit DirectExecutor(const EngineConfig& config);
 
     /// Evaluate velocity+pressure at `positions` within time step `timestep`
@@ -74,6 +84,8 @@ class DirectExecutor {
     storage::AtomStore store_;
     cache::BufferCache cache_;
     storage::DatabaseNode db_;
+    util::ThreadPool* eval_pool_ = nullptr;  ///< Null = inline evaluation.
+    std::unique_ptr<util::ThreadPool> owned_pool_;  ///< Last: drains first.
 };
 
 }  // namespace jaws::core

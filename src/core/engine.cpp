@@ -24,6 +24,19 @@ const EngineConfig& validated(const EngineConfig& config) {
     config.validate();
     return config;
 }
+
+/// Fold interpolated samples into an FNV-1a digest, one fixed-layout block of
+/// double bit patterns per sample (member-by-member, so struct padding can
+/// never leak into the digest).
+std::uint64_t fold_samples(std::uint64_t h,
+                           const std::vector<field::FlowSample>& samples) {
+    for (const field::FlowSample& s : samples) {
+        const double vals[4] = {s.velocity.x, s.velocity.y, s.velocity.z,
+                                s.pressure};
+        h = fnv1a64(h, vals, sizeof vals);
+    }
+    return h;
+}
 }  // namespace
 
 Engine::Engine(const EngineConfig& config)
@@ -43,6 +56,18 @@ Engine::Engine(const EngineConfig& config)
             config_.prefetch, config_.grid.atoms_per_side());
         prefetch_read_.resize(config_.io_depth);
     }
+    // Real-thread evaluation (EvalSpec): an external pool always wins;
+    // otherwise a parallel materialised run gets an engine-owned pool sized
+    // to the modeled CPU channels. Descriptor-only runs never spawn threads.
+    if (config_.eval.pool != nullptr) {
+        eval_pool_ = config_.eval.pool;
+    } else if (config_.eval.parallel && config_.materialize_data) {
+        owned_eval_pool_ = std::make_unique<util::ThreadPool>(
+            config_.eval.threads != 0 ? config_.eval.threads
+                                      : config_.compute_workers);
+        eval_pool_ = owned_eval_pool_.get();
+    }
+    if (config_.eval.wall_clock_timing) eval_tick_ = util::wall_clock_ns;
     disk_res_.set_observer([this] { account_tick(); });
     cpu_res_.set_observer([this] { account_tick(); });
     // A disk channel going idle with no demand read waiting is the window for
@@ -336,8 +361,33 @@ void Engine::submit_compute(std::size_t idx) {
                 if (config_.grid.atom_morton_of(p) == it.item.atom.morton)
                     exec.positions.push_back(p);
         }
-        const storage::ExecOutcome out = db_.execute(exec, it.payload.get());
-        return out.compute_cost;
+        // The modeled T_m service is authoritative for virtual time whether
+        // the real interpolation runs inline or on the pool.
+        const util::SimTime cost = db_.modeled_cost(exec);
+        if (eval_pool_ != nullptr && it.payload != nullptr &&
+            !exec.positions.empty()) {
+            // Dispatch the real work; compute_done() joins the future at the
+            // modeled completion event. Each in-service CPU channel owns at
+            // most one task, bounding in-flight work to compute_workers.
+            ++eval_tasks_;
+            it.eval_on_pool = true;
+            it.pending_eval = eval_pool_->submit(
+                [this, exec = std::move(exec), payload = it.payload]() {
+                    const std::uint64_t t0 = eval_tick_ ? eval_tick_() : 0;
+                    storage::ExecOutcome out = db_.execute(exec, payload.get());
+                    if (eval_tick_)
+                        eval_wall_ns_.fetch_add(eval_tick_() - t0,
+                                                std::memory_order_relaxed);
+                    return out;
+                });
+        } else {
+            const std::uint64_t t0 = eval_tick_ ? eval_tick_() : 0;
+            it.staged_eval = db_.execute(exec, it.payload.get());
+            if (eval_tick_)
+                eval_wall_ns_.fetch_add(eval_tick_() - t0,
+                                        std::memory_order_relaxed);
+        }
+        return cost;
     };
     job.on_complete = [this, idx](std::size_t) { compute_done(idx); };
     cpu_res_.submit(std::move(job));
@@ -349,6 +399,23 @@ void Engine::compute_done(std::size_t idx) {
     ++subqueries_done_;
     positions_done_ += sub.positions;
     QueryRuntime& rt = runtime_.at(sub.query);
+    // Deterministic reduction: the real result (pooled or inline) is folded
+    // here, at the modeled completion event — so sample order and digests
+    // depend only on the virtual trace, never on real-thread interleaving.
+    storage::ExecOutcome out;
+    if (it.eval_on_pool) {
+        it.eval_on_pool = false;
+        out = it.pending_eval.get();
+    } else {
+        out = std::move(it.staged_eval);
+        it.staged_eval = storage::ExecOutcome{};
+    }
+    if (!out.samples.empty()) {
+        rt.samples_evaluated += out.samples.size();
+        rt.sample_digest = fold_samples(rt.sample_digest, out.samples);
+        samples_evaluated_ += out.samples.size();
+        sample_digest_ = fold_samples(sample_digest_, out.samples);
+    }
     assert(rt.outstanding > 0);
     if (--rt.outstanding == 0) complete_query(rt);
     if (++it.next_sub < it.item.subqueries.size())
@@ -410,6 +477,8 @@ void Engine::complete_query(QueryRuntime& rt) {
     outcome.visible = rt.visible_at;
     outcome.completed = now;
     outcome.failed_subqueries = rt.failed;
+    outcome.samples_evaluated = rt.samples_evaluated;
+    outcome.sample_digest = rt.sample_digest;
     if (rt.failed > 0) ++degraded_queries_;
     outcomes_.push_back(outcome);
     ++completed_;
@@ -635,6 +704,13 @@ RunReport Engine::run(const workload::Workload& workload) {
     report.overlap_time = overlap_time_;
     report.io_depth = config_.io_depth;
     report.compute_workers = config_.compute_workers;
+    report.peak_cpu_busy = cpu_res_.peak_busy_channels();
+    report.peak_disk_busy = disk_res_.peak_busy_channels();
+    report.eval_threads = eval_pool_ != nullptr ? eval_pool_->size() : 0;
+    report.eval_tasks = eval_tasks_;
+    report.samples_evaluated = samples_evaluated_;
+    report.sample_digest = sample_digest_;
+    report.eval_wall_ns = eval_wall_ns_.load(std::memory_order_relaxed);
     report.disk_utilization =
         disk_res_.busy_channel_time().seconds() /
         (seconds * static_cast<double>(config_.io_depth));

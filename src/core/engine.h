@@ -16,6 +16,17 @@
 // exact historical serial order (read, evaluate, next read), reproducing the
 // pre-kernel engine's reports bit-for-bit (see tests/serial_equivalence_test).
 //
+// Real-thread evaluation (EvalSpec): on materialised runs the engine
+// dispatches each sub-query's actual interpolation onto a util::ThreadPool
+// when its modeled T_m service *starts* and joins the result when the modeled
+// service *completes*. The modeled CPU channels stay authoritative for
+// virtual time — the pool only changes wall-clock time — and results are
+// reduced strictly in virtual completion-event order, so the trace, the
+// RunReport and every sample digest are bit-identical to inline evaluation
+// for any worker count (tests/parallel_equivalence_test). At most
+// `compute_workers` pool tasks are in flight, because each one is owned by an
+// in-service modeled channel.
+//
 // Ordered jobs' data dependencies are enforced here — a query becomes
 // *visible* to the scheduler only when its predecessor has completed and the
 // user's think time has elapsed, exactly the dynamics of a live
@@ -25,6 +36,8 @@
 // per experimental configuration (they are cheap — the dataset is lazy).
 #pragma once
 
+#include <atomic>
+#include <future>
 #include <memory>
 #include <queue>
 #include <unordered_map>
@@ -38,6 +51,7 @@
 #include "storage/database_node.h"
 #include "util/event_queue.h"
 #include "util/sim_time.h"
+#include "util/thread_pool.h"
 #include "workload/job.h"
 
 namespace jaws::core {
@@ -96,6 +110,8 @@ class Engine {
         std::uint64_t failed = 0;     ///< Sub-queries abandoned on dead atoms.
         bool visible = false;
         util::SimTime visible_at;
+        std::uint64_t samples_evaluated = 0;  ///< Interpolated samples so far.
+        std::uint64_t sample_digest = kFnvOffset;  ///< FNV-1a over their bytes.
     };
 
     struct VisibilityEvent {
@@ -117,6 +133,12 @@ class Engine {
         storage::ReadResult read;      ///< Stashed by the disk job's on_start.
         std::shared_ptr<const field::VoxelBlock> payload;
         std::size_t next_sub = 0;      ///< Next sub-query to evaluate.
+        // Per-event staging for the current sub-query's real evaluation:
+        // exactly one of these carries the result between the modeled
+        // service's on_start and compute_done()'s reduction step.
+        bool eval_on_pool = false;     ///< Result pending on the eval pool.
+        std::future<storage::ExecOutcome> pending_eval;  ///< Pool-side result.
+        storage::ExecOutcome staged_eval;  ///< Inline-evaluated result.
     };
 
     /// One scheduler batch in flight. Items are issued into the pipeline in
@@ -190,6 +212,15 @@ class Engine {
     storage::DatabaseNode db_;
     util::SimResource disk_res_;
     util::SimResource cpu_res_;
+    /// Where real sub-query evaluation runs: the external pool from
+    /// EvalSpec::pool, the engine-owned pool (owned_eval_pool_, declared
+    /// last so it drains before the components its tasks use are torn down),
+    /// or null for inline evaluation in the event handler.
+    util::ThreadPool* eval_pool_ = nullptr;
+    /// Real-time source for EvalSpec::wall_clock_timing (util::wall_clock_ns
+    /// when on, null when off). Indirection keeps the deterministic default
+    /// free of wall-clock reads.
+    std::uint64_t (*eval_tick_)() = nullptr;
     OracleRelay oracle_;
     std::unique_ptr<cache::BufferCache> cache_;
     std::unique_ptr<sched::Scheduler> scheduler_;
@@ -234,6 +265,11 @@ class Engine {
     std::vector<std::uint64_t> support_scratch_;
     std::uint64_t subqueries_done_ = 0;
     std::uint64_t positions_done_ = 0;
+    std::uint64_t eval_tasks_ = 0;        ///< Sub-queries dispatched to the pool.
+    std::uint64_t samples_evaluated_ = 0; ///< Interpolated samples produced.
+    std::uint64_t sample_digest_ = kFnvOffset;  ///< Folded in event order.
+    /// Real nanoseconds spent inside evaluation (workers add concurrently).
+    std::atomic<std::uint64_t> eval_wall_ns_{0};
     double job_span_ms_sum_ = 0.0;
     std::vector<double> job_spans_;
     std::size_t jobs_done_ = 0;
@@ -245,6 +281,12 @@ class Engine {
     util::SimTime overlap_time_;       ///< Both simultaneously busy.
     util::SimTime idle_time_;          ///< Both idle and no batch active.
     bool ran_ = false;
+
+    /// Engine-owned evaluation pool (EvalSpec::parallel with no external
+    /// pool). Deliberately the last member: its destructor drains pending
+    /// tasks, which capture `this`, the executor and atom payloads — so it
+    /// must run before any other member is destroyed.
+    std::unique_ptr<util::ThreadPool> owned_eval_pool_;
 };
 
 }  // namespace jaws::core

@@ -6,6 +6,7 @@
 // the job-awareness results. Collected by the engine over one workload run.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,23 @@
 
 namespace jaws::core {
 
+/// Incremental FNV-1a over raw bytes. The engine folds every interpolated
+/// sample through this at the sub-query's (deterministic) virtual completion
+/// event, so two runs produce equal digests iff their results are
+/// bit-identical — the parallel-equivalence tests pin these as goldens.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a64(std::uint64_t h, const void* data,
+                             std::size_t len) noexcept {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
 /// Completion record of one query.
 struct QueryOutcome {
     workload::QueryId query = 0;
@@ -30,6 +48,11 @@ struct QueryOutcome {
     /// permanently bad range); > 0 means the query completed *degraded*:
     /// it returned partial results instead of crashing the run.
     std::uint64_t failed_subqueries = 0;
+    /// Interpolated samples this query produced (0 on descriptor-only runs).
+    std::uint64_t samples_evaluated = 0;
+    /// FNV-1a over this query's sample bytes in sub-query completion order
+    /// (kFnvOffset when no samples were produced).
+    std::uint64_t sample_digest = kFnvOffset;
 
     util::SimTime response() const noexcept { return completed - visible; }
     bool degraded() const noexcept { return failed_subqueries > 0; }
@@ -94,6 +117,23 @@ struct RunReport {
     double overlap_fraction = 0.0;   ///< overlap_time / makespan.
     std::size_t io_depth = 1;        ///< Channels the run was configured with.
     std::size_t compute_workers = 1; ///< Workers the run was configured with.
+    /// Most CPU channels simultaneously busy at any virtual instant — the
+    /// modeled concurrency the run actually reached, hence the ceiling on
+    /// real-thread speedup from the evaluation pool.
+    std::size_t peak_cpu_busy = 0;
+    std::size_t peak_disk_busy = 0;  ///< Same watermark for the disk channels.
+
+    // --- real-thread evaluation (EvalSpec; zero on serial/descriptor runs) --
+    std::size_t eval_threads = 0;       ///< Pool workers used (0 = inline eval).
+    std::uint64_t eval_tasks = 0;       ///< Sub-queries dispatched to the pool.
+    std::uint64_t samples_evaluated = 0;  ///< Interpolated samples produced.
+    /// FNV-1a over all sample bytes in virtual completion-event order; equal
+    /// across runs iff results are bit-identical (kFnvOffset when no samples).
+    std::uint64_t sample_digest = kFnvOffset;
+    /// Total real nanoseconds workers spent inside sub-query evaluation
+    /// (only collected when EvalSpec::wall_clock_timing is on; benches use
+    /// it to report real-vs-modeled compute utilisation).
+    std::uint64_t eval_wall_ns = 0;
 
     std::uint64_t atoms_processed = 0;  ///< Batch items executed.
     std::uint64_t atom_reads = 0;       ///< Cache misses (disk reads).

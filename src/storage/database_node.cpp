@@ -6,11 +6,15 @@
 
 namespace jaws::storage {
 
+util::SimTime DatabaseNode::modeled_cost(const SubQueryExec& work) const noexcept {
+    return util::SimTime::from_micros(
+        static_cast<std::int64_t>(cost_.t_m_us * static_cast<double>(work.count())));
+}
+
 ExecOutcome DatabaseNode::execute(const SubQueryExec& work,
                                   const field::VoxelBlock* data) const {
     ExecOutcome out;
-    out.compute_cost = util::SimTime::from_micros(
-        static_cast<std::int64_t>(cost_.t_m_us * static_cast<double>(work.count())));
+    out.compute_cost = modeled_cost(work);
     if (data == nullptr || work.positions.empty()) return out;
 
     const util::Coord3 atom_coord = util::morton_decode(work.atom.morton);

@@ -63,6 +63,13 @@ class DatabaseNode {
     /// produced only when both data and explicit positions are present.
     ExecOutcome execute(const SubQueryExec& work, const field::VoxelBlock* data) const;
 
+    /// Virtual compute time `work` will be charged (T_m per position, Eq. 1),
+    /// without evaluating anything. The engine charges this on SimResource as
+    /// the authoritative service duration while the real interpolation runs
+    /// on the evaluation pool; execute() charges exactly the same amount, so
+    /// the virtual trace is identical whether evaluation is inline or pooled.
+    util::SimTime modeled_cost(const SubQueryExec& work) const noexcept;
+
     /// The cost model in effect.
     const CostModel& cost_model() const noexcept { return cost_; }
 

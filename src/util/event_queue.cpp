@@ -123,6 +123,7 @@ void SimResource::note_busy_change(std::size_t delta_sign) {
         SimTime{static_cast<std::int64_t>(busy_) * (now - last_change_).micros};
     last_change_ = now;
     busy_ = delta_sign ? busy_ + 1 : busy_ - 1;
+    peak_busy_ = std::max(peak_busy_, busy_);
 }
 
 void SimResource::submit(Job job) {
@@ -217,6 +218,9 @@ bool SimResource::audit() const {
     }
     check(busy_count == busy_, "busy channel flags == busy_",
           "SimResource: busy count out of sync with channel flags");
+    check(peak_busy_ >= busy_ && peak_busy_ <= channels_.size(),
+          "busy_ <= peak_busy_ <= channels()",
+          "SimResource: peak busy-channel watermark out of range");
     for (const auto& [pri, q] : waiting_)
         check(!q.empty(), "!waiting_[pri].empty()",
               "SimResource: empty priority class retained in waiting map");

@@ -137,6 +137,10 @@ class SimResource {
 
     std::size_t channels() const noexcept { return channels_.size(); }
     std::size_t busy_channels() const noexcept { return busy_; }
+    /// Most channels ever simultaneously in service. This is the modeled
+    /// concurrency a run actually achieved — the ceiling on any real-thread
+    /// speedup the engine's evaluation pool can extract from it.
+    std::size_t peak_busy_channels() const noexcept { return peak_busy_; }
     std::size_t queued() const noexcept;
     bool has_free_channel() const noexcept { return busy_ < channels_.size(); }
     bool idle() const noexcept { return busy_ == 0 && queued() == 0; }
@@ -180,6 +184,7 @@ class SimResource {
     std::vector<Channel> channels_;
     std::map<int, std::deque<Job>> waiting_;
     std::size_t busy_ = 0;
+    std::size_t peak_busy_ = 0;
     // Busy-channel integral: accumulated up to last_change_, plus busy_ *
     // (now - last_change_) on read.
     mutable SimTime busy_integral_;

@@ -6,19 +6,16 @@ namespace jaws::util {
 
 ThreadPool::ThreadPool(std::size_t workers) {
     if (workers == 0) workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers_ = workers;
+    // Workers entering worker_loop() block on the mutex until spawning is
+    // done, so the vector is never mutated concurrently with itself.
+    MutexLock lock(mutex_);
     threads_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
         threads_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
-    {
-        MutexLock lock(mutex_);
-        stop_ = true;
-    }
-    cv_.notify_all();
-    for (auto& t : threads_) t.join();
-}
+ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::worker_loop() {
     for (;;) {
@@ -43,6 +40,23 @@ void ThreadPool::worker_loop() {
 void ThreadPool::wait_idle() {
     MutexLock lock(mutex_);
     while (!queue_.empty() || active_ != 0) idle_cv_.wait(mutex_);
+}
+
+void ThreadPool::shutdown() {
+    // The first caller claims the worker threads and joins them; every later
+    // caller (including the destructor after an explicit shutdown) finds the
+    // vector empty and waits for the drain via wait_idle() below. Claiming
+    // under the lock and joining outside it avoids deadlocking against
+    // workers that need the mutex to observe stop_.
+    std::vector<std::thread> claimed;
+    {
+        MutexLock lock(mutex_);
+        stop_ = true;
+        claimed.swap(threads_);
+    }
+    cv_.notify_all();
+    for (std::thread& t : claimed) t.join();
+    if (claimed.empty()) wait_idle();
 }
 
 }  // namespace jaws::util

@@ -1,10 +1,17 @@
 // Minimal work-stealing-free thread pool.
 //
 // The cluster facade (paper Fig. 7: one JAWS instance per database node) runs
-// node engines in parallel, and some benches sweep parameters concurrently.
-// This pool provides the standard submit/future interface with a fixed worker
+// node engines in parallel, the engine dispatches sub-query evaluation onto a
+// pool (core/engine.h), and some benches sweep parameters concurrently. This
+// pool provides the standard submit/future interface with a fixed worker
 // count; all synchronisation is internal and statically checked by Clang's
 // thread-safety analysis (util/thread_annotations.h).
+//
+// Lifecycle contract: shutdown() (or destruction) drains every task accepted
+// so far and joins the workers; a submit() that arrives after shutdown began
+// is rejected deterministically with std::runtime_error rather than being
+// queued onto workers that may already have exited (which would leave its
+// future forever unready).
 #pragma once
 
 #include <cstddef>
@@ -12,6 +19,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -28,16 +36,18 @@ class ThreadPool {
     /// Spawn `workers` threads (defaults to hardware concurrency, min 1).
     explicit ThreadPool(std::size_t workers = 0);
 
-    /// Drains outstanding tasks, then joins all workers.
+    /// Drains outstanding tasks, then joins all workers (via shutdown()).
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    /// Number of worker threads.
-    std::size_t size() const noexcept { return threads_.size(); }
+    /// Number of worker threads the pool was built with.
+    std::size_t size() const noexcept { return workers_; }
 
-    /// Submit a callable; returns a future for its result.
+    /// Submit a callable; returns a future for its result. Throws
+    /// std::runtime_error if the pool has been shut down — tasks must never
+    /// be queued behind workers that will not run them.
     template <typename F, typename... Args>
     auto submit(F&& f, Args&&... args)
         -> std::future<std::invoke_result_t<F, Args...>> {
@@ -50,6 +60,8 @@ class ThreadPool {
         std::future<R> fut = task->get_future();
         {
             MutexLock lock(mutex_);
+            if (stop_)
+                throw std::runtime_error("ThreadPool::submit: pool is shut down");
             queue_.emplace_back([task]() { (*task)(); });
         }
         cv_.notify_one();
@@ -59,13 +71,19 @@ class ThreadPool {
     /// Block until every task submitted so far has finished.
     void wait_idle() EXCLUDES(mutex_);
 
+    /// Stop accepting tasks, finish everything already queued, join all
+    /// workers. Idempotent: later calls (and the destructor) return once the
+    /// first caller has drained the pool. After shutdown(), submit() throws.
+    void shutdown() EXCLUDES(mutex_);
+
   private:
     void worker_loop() EXCLUDES(mutex_);
 
-    std::vector<std::thread> threads_;
+    std::size_t workers_ = 0;  ///< Fixed at construction.
     Mutex mutex_;
     CondVar cv_;       ///< Signalled on submit and stop.
     CondVar idle_cv_;  ///< Signalled when the pool drains fully.
+    std::vector<std::thread> threads_ GUARDED_BY(mutex_);
     std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
     std::size_t active_ GUARDED_BY(mutex_) = 0;
     bool stop_ GUARDED_BY(mutex_) = false;

@@ -305,6 +305,28 @@ Workload generate_workload(const WorkloadSpec& spec, const field::GridSpec& grid
     return out;
 }
 
+void materialize_positions(Workload& workload, const field::GridSpec& grid,
+                           std::uint64_t seed) {
+    const double atom_extent = 1.0 / static_cast<double>(grid.atoms_per_side());
+    for (Job& job : workload.jobs) {
+        for (Query& q : job.queries) {
+            // Per-query stream: materialisation is stable under job
+            // reordering, partitioning and re-runs.
+            util::Rng rng(seed ^ (q.id * 0x9E3779B97F4A7C15ULL));
+            q.positions.clear();
+            q.positions.reserve(q.total_positions());
+            for (const AtomRequest& req : q.footprint) {
+                const util::Coord3 c = util::morton_decode(req.atom.morton);
+                for (std::uint64_t i = 0; i < req.positions; ++i)
+                    q.positions.push_back(Vec3{
+                        (static_cast<double>(c.x) + rng.uniform()) * atom_extent,
+                        (static_cast<double>(c.y) + rng.uniform()) * atom_extent,
+                        (static_cast<double>(c.z) + rng.uniform()) * atom_extent});
+            }
+        }
+    }
+}
+
 void apply_speedup(Workload& workload, double speedup) {
     if (!(speedup > 0.0))
         throw std::invalid_argument("apply_speedup: speedup must be positive, got " +

@@ -75,6 +75,15 @@ struct WorkloadSpec {
 Workload generate_workload(const WorkloadSpec& spec, const field::GridSpec& grid,
                            const field::SyntheticField& field);
 
+/// Populate explicit positions for every query so materialised runs produce
+/// real interpolated samples: each footprint entry receives exactly its
+/// `positions` count of uniform draws inside that atom's box, so the engine
+/// regroups them onto the same atoms and the footprint — hence the entire
+/// virtual trace — is unchanged by materialisation. Draws are seeded per
+/// query id, independent of job order. Existing positions are replaced.
+void materialize_positions(Workload& workload, const field::GridSpec& grid,
+                           std::uint64_t seed = 7);
+
 /// Rescale inter-job arrival gaps by 1/speedup (Fig. 11's saturation knob):
 /// speedup 2 makes a job submitted 2 virtual minutes after its predecessor
 /// arrive after 1. Think times inside jobs are unchanged.

@@ -369,6 +369,52 @@ TEST(FaultRecovery, IdenticalSeedsGiveBitIdenticalRuns) {
     EXPECT_EQ(a.faults.spike_delay.micros, b.faults.spike_delay.micros);
 }
 
+TEST(FaultRecovery, RetryDuringInFlightPooledEvalMatchesSerialCounters) {
+    // io_depth 4 / compute_workers 4 on materialised data: while one batch
+    // item's demand read backs off after a transient fault, its siblings'
+    // sub-queries are in flight on the evaluation pool. The retry machinery
+    // and the pool must not interact — every fault counter, the virtual
+    // timeline and the sample digest must equal the inline-evaluation
+    // engine's, for it is the same virtual trace either way.
+    const auto run_once = [](bool parallel) {
+        core::EngineConfig config = tiny_config();
+        config.grid.ghost = 4;  // generated workloads include kLag8 kernels
+        config.scheduler.kind = core::SchedulerKind::kJaws;
+        config.io_depth = 4;
+        config.compute_workers = 4;
+        config.materialize_data = true;
+        config.eval.parallel = parallel;
+        config.faults.seed = 77;
+        config.faults.transient_error_rate = 0.35;
+        config.faults.latency_spike_rate = 0.2;
+        config.faults.latency_spike_mean_ms = 50.0;
+        workload::WorkloadSpec spec;
+        spec.jobs = 10;
+        spec.seed = 9;
+        spec.max_positions = 400;
+        const field::SyntheticField field(config.field);
+        workload::Workload w = workload::generate_workload(spec, config.grid, field);
+        workload::materialize_positions(w, config.grid, 13);
+        core::Engine engine(config);
+        return engine.run(w);
+    };
+    const core::RunReport pooled = run_once(true);
+    const core::RunReport serial = run_once(false);
+    ASSERT_GT(pooled.read_retries, 0u);  // the scenario actually occurred
+    ASSERT_GT(pooled.eval_tasks, 0u);    // ... with work on the pool
+    EXPECT_EQ(serial.eval_tasks, 0u);
+    EXPECT_EQ(pooled.read_retries, serial.read_retries);
+    EXPECT_EQ(pooled.read_failures, serial.read_failures);
+    EXPECT_EQ(pooled.failed_subqueries, serial.failed_subqueries);
+    EXPECT_EQ(pooled.degraded_queries, serial.degraded_queries);
+    EXPECT_EQ(pooled.retry_backoff_time.micros, serial.retry_backoff_time.micros);
+    EXPECT_EQ(pooled.faults.transient_faults, serial.faults.transient_faults);
+    EXPECT_EQ(pooled.faults.latency_spikes, serial.faults.latency_spikes);
+    EXPECT_EQ(pooled.makespan.micros, serial.makespan.micros);
+    EXPECT_EQ(pooled.samples_evaluated, serial.samples_evaluated);
+    EXPECT_EQ(pooled.sample_digest, serial.sample_digest);
+}
+
 TEST(FaultRecovery, ZeroedFaultSpecReportsNoFaultActivity) {
     core::EngineConfig config = tiny_config();
     workload::Workload w;

@@ -70,5 +70,82 @@ TEST(ThreadPool, ManyTasksOnSingleWorkerPreserveAllResults) {
     for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
 }
 
+TEST(ThreadPool, ShutdownDrainsPendingWorkBeforeReturning) {
+    // One slow worker, a deep queue: shutdown() must run every task accepted
+    // before it, not abandon the backlog.
+    ThreadPool pool(1);
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            done.fetch_add(1);
+        }));
+    pool.shutdown();
+    EXPECT_EQ(done.load(), 64);
+    for (auto& f : futures) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+        f.get();
+    }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownIsRejectedDeterministically) {
+    ThreadPool pool(2);
+    pool.submit([] {});
+    pool.shutdown();
+    // Every post-shutdown submit throws — no task may queue behind workers
+    // that have already exited (its future would never become ready).
+    for (int i = 0; i < 4; ++i)
+        EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndSafeBeforeDestruction) {
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i) pool.submit([&done] { done.fetch_add(1); });
+        pool.shutdown();
+        pool.shutdown();  // second call returns once the drain is complete
+        EXPECT_EQ(done.load(), 16);
+        // Destructor runs after an explicit shutdown: must not double-join.
+    }
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, ConcurrentShutdownCallersAllObserveTheDrain) {
+    // Several threads race shutdown() while the queue still holds work. The
+    // first caller claims and joins the workers; the others must block until
+    // the drain completes — none may return early or deadlock.
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 128; ++i)
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            done.fetch_add(1);
+        });
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 4; ++t)
+        callers.emplace_back([&pool, &done] {
+            pool.shutdown();
+            EXPECT_EQ(done.load(), 128);
+        });
+    for (auto& t : callers) t.join();
+    EXPECT_EQ(done.load(), 128);
+}
+
+TEST(ThreadPool, TasksRunningDuringShutdownStillCompleteTheirFutures) {
+    ThreadPool pool(2);
+    std::atomic<bool> entered{false};
+    auto slow = pool.submit([&entered] {
+        entered.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return 99;
+    });
+    while (!entered.load()) std::this_thread::yield();
+    pool.shutdown();  // called mid-task: waits for it
+    ASSERT_EQ(slow.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(slow.get(), 99);
+}
+
 }  // namespace
 }  // namespace jaws::util

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "core/engine.h"
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -181,6 +182,91 @@ TEST(ThreadStress, ParallelClusterRunsAreRaceFreeAndIdentical) {
                   c.per_node[n].cache.policy_overhead_ns)
             << "virtual-tick overhead accounting must be reproducible";
     }
+}
+
+core::EngineConfig eval_stress_config() {
+    core::EngineConfig c;
+    c.grid.voxels_per_side = 128;
+    c.grid.atom_side = 32;
+    c.grid.timesteps = 4;
+    c.field.modes = 4;
+    c.cache.capacity_atoms = 16;
+    c.run_length = 25;
+    c.io_depth = 2;
+    c.compute_workers = 4;
+    c.materialize_data = true;  // real payloads so evaluation hits the pool
+    return c;
+}
+
+workload::Workload eval_stress_workload(const core::EngineConfig& c) {
+    workload::WorkloadSpec spec;
+    spec.jobs = 6;
+    spec.seed = 9;
+    spec.max_positions = 400;
+    const field::SyntheticField field(c.field);
+    workload::Workload w = workload::generate_workload(spec, c.grid, field);
+    workload::materialize_positions(w, c.grid, /*seed=*/13);
+    return w;
+}
+
+TEST(ThreadStress, ConcurrentEnginesSharingOneEvalPoolStayBitIdentical) {
+    // Three engines run concurrently, all dispatching real sub-query
+    // interpolation onto ONE shared evaluation pool, while a fourth engine
+    // evaluates everything inline on this thread as the reference. The
+    // shared queue interleaves tasks from unrelated engines arbitrarily;
+    // the deterministic reduction (join at the modeled completion event)
+    // must make every report bit-identical to the inline reference anyway.
+    core::EngineConfig cfg = eval_stress_config();
+    const workload::Workload work = eval_stress_workload(cfg);
+
+    core::EngineConfig inline_cfg = cfg;
+    inline_cfg.eval.parallel = false;
+    core::Engine reference(inline_cfg);
+    const core::RunReport ref = reference.run(work);
+    ASSERT_GT(ref.samples_evaluated, 0u);
+
+    util::ThreadPool shared(4);
+    cfg.eval.pool = &shared;
+    constexpr int kEngines = 3;
+    std::vector<core::RunReport> reports(kEngines);
+    std::vector<std::thread> runners;
+    runners.reserve(kEngines);
+    for (int e = 0; e < kEngines; ++e)
+        runners.emplace_back([&cfg, &work, &reports, e] {
+            core::Engine engine(cfg);
+            reports[static_cast<std::size_t>(e)] = engine.run(work);
+        });
+    for (auto& t : runners) t.join();
+
+    for (int e = 0; e < kEngines; ++e) {
+        const core::RunReport& r = reports[static_cast<std::size_t>(e)];
+        EXPECT_GT(r.eval_tasks, 0u) << "engine " << e << " never used the pool";
+        EXPECT_EQ(r.makespan.micros, ref.makespan.micros);
+        EXPECT_EQ(r.samples_evaluated, ref.samples_evaluated);
+        EXPECT_EQ(r.sample_digest, ref.sample_digest);
+        EXPECT_EQ(r.cache.hits, ref.cache.hits);
+        EXPECT_EQ(r.atom_reads, ref.atom_reads);
+        EXPECT_EQ(r.subqueries, ref.subqueries);
+    }
+}
+
+TEST(ThreadStress, RepeatedPooledEngineRunsAreBitIdentical) {
+    // Back-to-back pooled runs of the same configuration: real-thread
+    // interleaving differs every time, the reports must not. Two rounds
+    // rather than many keeps the tsan run inside its time budget.
+    const core::EngineConfig cfg = eval_stress_config();
+    const workload::Workload work = eval_stress_workload(cfg);
+    core::Engine first(cfg);
+    const core::RunReport r1 = first.run(work);
+    core::Engine second(cfg);
+    const core::RunReport r2 = second.run(work);
+    ASSERT_GT(r1.eval_tasks, 0u);
+    ASSERT_GT(r1.samples_evaluated, 0u);
+    EXPECT_EQ(r1.makespan.micros, r2.makespan.micros);
+    EXPECT_EQ(r1.samples_evaluated, r2.samples_evaluated);
+    EXPECT_EQ(r1.sample_digest, r2.sample_digest);
+    EXPECT_EQ(r1.eval_tasks, r2.eval_tasks);
+    EXPECT_EQ(r1.idle_time.micros, r2.idle_time.micros);
 }
 
 TEST(ThreadStress, CondVarPingPong) {
