@@ -10,6 +10,7 @@
 
 #include "core/engine.h"
 #include "util/mutex.h"
+#include "util/stats.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -200,6 +201,7 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
     double weighted_rt = 0.0;
     std::uint64_t hits = 0, misses = 0;
     double run_seconds = 0.0, weighted_disk_util = 0.0, weighted_cpu_util = 0.0;
+    std::vector<double> pooled_response_ms;
     const auto accumulate = [&](const RunReport& r) {
         total_parts += r.queries;
         weighted_rt += r.mean_response_ms * static_cast<double>(r.queries);
@@ -211,6 +213,15 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
         report.degraded_queries += r.degraded_queries;
         report.read_retries += r.read_retries;
         report.read_failures += r.read_failures;
+        report.hedges_issued += r.hedges_issued;
+        report.hedges_won += r.hedges_won;
+        report.hedges_lost += r.hedges_lost;
+        report.cancellations += r.cancellations;
+        report.wasted_service += r.wasted_service;
+        report.deadline_misses += r.deadline_misses;
+        report.retries_suppressed += r.retries_suppressed;
+        pooled_response_ms.insert(pooled_response_ms.end(), r.response_ms.begin(),
+                                  r.response_ms.end());
     };
 
     // When a node dies its share finishes on a replica; the replica can only
@@ -282,6 +293,10 @@ ClusterReport TurbulenceCluster::run(const workload::Workload& workload) const {
         report.mean_disk_utilization = weighted_disk_util / run_seconds;
         report.mean_cpu_utilization = weighted_cpu_util / run_seconds;
     }
+    // Exact cluster-wide tail over the pooled samples (percentile() moves
+    // the vector; NaN — "n/a" — when nothing completed anywhere).
+    report.p999_response_ms = util::percentile(pooled_response_ms, 99.9);
+    report.p99_response_ms = util::percentile(std::move(pooled_response_ms), 99.0);
     return report;
 }
 

@@ -58,6 +58,13 @@ struct ClusterReport {
     double mean_disk_utilization = 0.0;   ///< Makespan-weighted mean over runs.
     double mean_cpu_utilization = 0.0;    ///< Makespan-weighted mean over runs.
 
+    /// Cluster-wide response-time tail, computed over the *pooled* per-query
+    /// samples of every node and recovery run — exact percentiles, not an
+    /// average of per-node percentiles (which would understate the tail).
+    /// NaN when no query part completed anywhere (rendered "n/a").
+    double p99_response_ms = 0.0;
+    double p999_response_ms = 0.0;
+
     // --- fault & recovery accounting ---
     std::size_t dead_nodes = 0;       ///< Nodes killed by node-down events.
     std::size_t failovers = 0;        ///< Deaths whose work a replica re-ran.
@@ -66,6 +73,16 @@ struct ClusterReport {
     std::uint64_t degraded_queries = 0;  ///< Sum of per-node degraded completions.
     std::uint64_t read_retries = 0;      ///< Sum over nodes and recovery runs.
     std::uint64_t read_failures = 0;     ///< Sum over nodes and recovery runs.
+
+    // --- hedging & deadline accounting (sums over nodes and recovery runs;
+    // all zero when HedgeSpec/deadline budgets are off) ---
+    std::uint64_t hedges_issued = 0;
+    std::uint64_t hedges_won = 0;
+    std::uint64_t hedges_lost = 0;
+    std::uint64_t cancellations = 0;
+    util::SimTime wasted_service;        ///< Rendered disk time of cancelled losers.
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t retries_suppressed = 0;
 };
 
 /// Spatially partitioned multi-node deployment.

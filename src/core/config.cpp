@@ -75,6 +75,8 @@ void EngineConfig::validate() const {
     require_probability(faults.transient_error_rate, "faults.transient_error_rate");
     require_probability(faults.latency_spike_rate, "faults.latency_spike_rate");
     require_non_negative(faults.latency_spike_mean_ms, "faults.latency_spike_mean_ms");
+    require_probability(faults.stuck_read_rate, "faults.stuck_read_rate");
+    require_non_negative(faults.stuck_read_ms, "faults.stuck_read_ms");
     for (const storage::BadRange& r : faults.bad_ranges)
         if (r.morton_end < r.morton_begin)
             fail("faults.bad_ranges entry has morton_end < morton_begin");
@@ -85,6 +87,38 @@ void EngineConfig::validate() const {
     if (!(retry.backoff_multiplier >= 1.0))
         fail("retry.backoff_multiplier must be >= 1, got " +
              std::to_string(retry.backoff_multiplier));
+    if (retry.backoff_cap_ms < retry.backoff_base_ms)
+        fail("retry.backoff_cap_ms " + std::to_string(retry.backoff_cap_ms) +
+             " is below retry.backoff_base_ms " +
+             std::to_string(retry.backoff_base_ms) +
+             " (the cap would silently invert the backoff schedule)");
+
+    require_probability(disk.heavy_tail.rate, "disk.heavy_tail.rate");
+    require_non_negative(disk.heavy_tail.lognormal_sigma,
+                         "disk.heavy_tail.lognormal_sigma");
+    if (disk.heavy_tail.rate > 0.0) {
+        if (!(disk.heavy_tail.pareto_alpha > 0.0))
+            fail("disk.heavy_tail.pareto_alpha must be positive, got " +
+                 std::to_string(disk.heavy_tail.pareto_alpha));
+        if (!(disk.heavy_tail.pareto_min >= 1.0))
+            fail("disk.heavy_tail.pareto_min must be >= 1 (a slowdown), got " +
+                 std::to_string(disk.heavy_tail.pareto_min));
+    }
+
+    require_non_negative(hedge.trigger_ms, "hedge.trigger_ms");
+    if (hedge.enabled) {
+        if (!(hedge.trigger_ewma_multiplier > 0.0))
+            fail("hedge.trigger_ewma_multiplier must be positive, got " +
+                 std::to_string(hedge.trigger_ewma_multiplier));
+        if (!(hedge.ewma_alpha > 0.0 && hedge.ewma_alpha <= 1.0))
+            fail("hedge.ewma_alpha must lie in (0, 1], got " +
+                 std::to_string(hedge.ewma_alpha));
+        if (hedge.max_outstanding == 0)
+            fail("hedge.max_outstanding must be at least 1 when hedging is enabled");
+        if (hedge.budget_per_query == 0)
+            fail("hedge.budget_per_query must be at least 1 when hedging is enabled");
+    }
+    require_non_negative(deadline_budget_ms, "deadline_budget_ms");
 }
 
 }  // namespace jaws::core

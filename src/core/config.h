@@ -94,6 +94,40 @@ struct RetrySpec {
     double backoff_base_ms = 5.0;     ///< Virtual delay before the first retry.
     double backoff_multiplier = 2.0;  ///< Growth factor per further retry.
     double backoff_cap_ms = 1000.0;   ///< Upper bound on any single delay.
+
+    /// Circuit breaker: total retries the whole run may spend (0 = unlimited).
+    /// Once cumulative retries reach the budget the circuit opens and further
+    /// transient failures fail fast (their sub-queries abandoned, queries
+    /// completing degraded) instead of piling onto the backoff queue — the
+    /// retry-storm guard a production cluster runs with.
+    std::size_t total_retry_budget = 0;
+};
+
+/// Hedged demand reads (tail-latency robustness, following the
+/// hedged-request pattern of Dean & Barroso's "The Tail at Scale"): when a
+/// primary demand read sits past a trigger delay, the engine issues a
+/// duplicate read for the same atom on another disk channel (a replica
+/// spindle of the RAID set) and the first completion wins — the loser is
+/// cancelled mid-service and its unrendered tail refunded. Disabled by
+/// default; a disabled spec schedules *no* events and is bit-identical to a
+/// build without the feature (the golden-equivalence harness pins this).
+struct HedgeSpec {
+    bool enabled = false;
+
+    /// Fixed trigger delay in virtual ms before the duplicate is issued.
+    /// 0 = adaptive: trigger at `trigger_ewma_multiplier` times the EWMA of
+    /// recent successful demand-read service times (falling back to the
+    /// T_b estimate until the EWMA is primed).
+    double trigger_ms = 0.0;
+    double trigger_ewma_multiplier = 3.0;  ///< Trigger = mult * EWMA(read ms).
+    double ewma_alpha = 0.2;               ///< Weight on the newest observation.
+
+    /// Engine-wide cap on simultaneously outstanding hedge reads (a hedge
+    /// storm must never displace primary demand traffic).
+    std::size_t max_outstanding = 4;
+
+    /// Hedges any single query may consume over its lifetime.
+    std::size_t budget_per_query = 2;
 };
 
 /// Full per-node configuration.
@@ -147,6 +181,17 @@ struct EngineConfig {
 
     /// Retry/backoff policy for transiently failed demand reads.
     RetrySpec retry;
+
+    /// Hedged duplicate demand reads against stragglers (default: off).
+    HedgeSpec hedge;
+
+    /// Per-query deadline budget in virtual ms, measured from the query
+    /// becoming visible (0 = unlimited). A query over budget stops retrying:
+    /// at the next retry boundary its remaining sub-queries on the failed
+    /// atom are abandoned and it completes *degraded* with the samples
+    /// evaluated so far — graceful degradation instead of an unbounded
+    /// backoff loop (RunReport::deadline_misses counts these).
+    double deadline_budget_ms = 0.0;
 
     /// Virtual time at which this node dies mid-run (INT64_MAX = never).
     /// Set by TurbulenceCluster from FaultSpec::node_down; a halted run

@@ -46,7 +46,8 @@ Engine::Engine(const EngineConfig& config)
                                     config.faults}),
       db_(config.grid, config.compute),
       disk_res_(events_, config.io_depth, kPriService),
-      cpu_res_(events_, config.compute_workers, kPriService) {
+      cpu_res_(events_, config.compute_workers, kPriService),
+      read_ewma_(config.hedge.ewma_alpha) {
     config_.estimates.atoms_per_step = config_.grid.atoms_per_step();
     cache_ = std::make_unique<cache::BufferCache>(config.cache.capacity_atoms, make_policy());
     if (config_.cache.wall_clock_overhead) cache_->set_tick_source(util::wall_clock_ns);
@@ -238,6 +239,7 @@ void Engine::issue_item(std::size_t idx) {
     it.attempt = 1;
     it.backoff_ms = config_.retry.backoff_base_ms;
     submit_demand_read(idx);
+    arm_hedge_trigger(idx);
 }
 
 void Engine::submit_demand_read(std::size_t idx) {
@@ -250,18 +252,51 @@ void Engine::submit_demand_read(std::size_t idx) {
         return it.read.io_cost;
     };
     job.on_complete = [this, idx](std::size_t) { demand_read_done(idx); };
-    disk_res_.submit(std::move(job));
+    job.on_abort = [this, idx](std::size_t, util::SimTime remaining) {
+        // Cancelled because the hedge won: refund the unrendered tail and
+        // count the rendered part as the price of hedging.
+        ItemRun& it = batch_->items[idx];
+        refund_read_tail(it.read, remaining);
+        wasted_service_ += it.read.io_cost - remaining;
+    };
+    batch_->items[idx].read_job = disk_res_.submit(std::move(job));
 }
 
 void Engine::demand_read_done(std::size_t idx) {
     ItemRun& it = batch_->items[idx];
+    it.read_job = 0;
     if (!it.read.failed) {
+        if (config_.hedge.enabled) read_ewma_.update(it.read.io_cost.millis());
+        cancel_hedge_machinery(idx);
         ++atom_reads_;
         insert_into_cache(it.item.atom, std::move(it.read.data));
         proceed_supports(idx);
         return;
     }
     if (!it.read.permanent && it.attempt < config_.retry.max_attempts) {
+        // Deadline budgets are enforced at retry boundaries: owning queries
+        // already over budget abandon their sub-queries here (completing
+        // degraded) instead of riding the backoff queue further.
+        if (config_.deadline_budget_ms > 0.0 && !drop_expired_subqueries(it)) {
+            // Every owner gave up — nothing left to retry for. Not a read
+            // failure: the atom may be fine, the budget just ran out.
+            cancel_hedge_machinery(idx);
+            item_finished(idx);
+            return;
+        }
+        // Circuit breaker: past the engine-wide retry budget, transient
+        // failures fail fast instead of piling onto the backoff queue.
+        if (config_.retry.total_retry_budget > 0 &&
+            read_retries_ >= config_.retry.total_retry_budget) {
+            ++retries_suppressed_;
+            ++read_failures_;
+            cancel_hedge_machinery(idx);
+            fail_subqueries(it.item.subqueries);
+            if (store_.faults().permanently_bad(it.item.atom))
+                fail_subqueries(scheduler_->purge_atom(it.item.atom));
+            item_finished(idx);
+            return;
+        }
         // Transient fault: back off exponentially (bounded) before retrying.
         // The channel is released during the backoff — other in-flight items
         // keep the disk busy — and the delay shows up in response times, so
@@ -272,8 +307,11 @@ void Engine::demand_read_done(std::size_t idx) {
         retry_backoff_time_ += backoff;
         ++read_retries_;
         ++it.attempt;
-        events_.schedule(events_.now() + backoff, kPriService,
-                         [this, idx] { submit_demand_read(idx); });
+        it.retry_event =
+            events_.schedule(events_.now() + backoff, kPriService, [this, idx] {
+                batch_->items[idx].retry_event = 0;
+                submit_demand_read(idx);
+            });
         return;
     }
     // The atom's data is unreachable: abandon this batch item's sub-queries
@@ -281,10 +319,155 @@ void Engine::demand_read_done(std::size_t idx) {
     // whatever later-visible queries queued against it, so the scheduler
     // never chases a dead atom forever.
     ++read_failures_;
+    cancel_hedge_machinery(idx);
     fail_subqueries(it.item.subqueries);
     if (store_.faults().permanently_bad(it.item.atom))
         fail_subqueries(scheduler_->purge_atom(it.item.atom));
     item_finished(idx);
+}
+
+// --------------------------------------------------------------------------
+// Hedged reads & deadline budgets
+// --------------------------------------------------------------------------
+
+util::SimTime Engine::hedge_trigger_delay() const {
+    if (config_.hedge.trigger_ms > 0.0)
+        return util::SimTime::from_millis(config_.hedge.trigger_ms);
+    const double base =
+        read_ewma_.primed() ? read_ewma_.value() : config_.estimates.t_b_ms;
+    return util::SimTime::from_millis(config_.hedge.trigger_ewma_multiplier * base);
+}
+
+void Engine::arm_hedge_trigger(std::size_t idx) {
+    // With hedging off nothing is scheduled here, so the kernel's event and
+    // id sequence — and therefore every golden report — is untouched.
+    if (!config_.hedge.enabled) return;
+    batch_->items[idx].hedge_trigger = events_.schedule(
+        events_.now() + hedge_trigger_delay(), kPriService, [this, idx] {
+            batch_->items[idx].hedge_trigger = 0;
+            maybe_issue_hedge(idx);
+        });
+}
+
+void Engine::maybe_issue_hedge(std::size_t idx) {
+    ItemRun& it = batch_->items[idx];
+    // Only while the demand phase is still unresolved (primary read in
+    // flight or a backoff retry pending).
+    if (it.read_job == 0 && it.retry_event == 0) return;
+    if (outstanding_hedges_ >= config_.hedge.max_outstanding) return;
+    // The hedge is charged to every distinct owning query that still has
+    // budget; at least one must be able to pay.
+    std::vector<QueryRuntime*> payers;
+    for (const sched::SubQuery& sub : it.item.subqueries) {
+        QueryRuntime& rt = runtime_.at(sub.query);
+        if (rt.hedges >= config_.hedge.budget_per_query) continue;
+        if (std::find(payers.begin(), payers.end(), &rt) == payers.end())
+            payers.push_back(&rt);
+    }
+    if (payers.empty()) return;
+    for (QueryRuntime* rt : payers) ++rt->hedges;
+    ++hedges_issued_;
+    ++outstanding_hedges_;
+    peak_hedges_ = std::max(peak_hedges_, outstanding_hedges_);
+    util::SimResource::Job job;
+    job.priority = 0;
+    job.preemptible = false;
+    job.on_start = [this, idx](std::size_t channel) {
+        ItemRun& run = batch_->items[idx];
+        run.hedge_read = store_.read(run.item.atom, channel);
+        return run.hedge_read.io_cost;
+    };
+    job.on_complete = [this, idx](std::size_t) { hedge_done(idx); };
+    job.on_abort = [this, idx](std::size_t, util::SimTime remaining) {
+        // Cancelled because the primary won: refund the unrendered tail and
+        // count the rendered part as the price of hedging.
+        ItemRun& run = batch_->items[idx];
+        refund_read_tail(run.hedge_read, remaining);
+        wasted_service_ += run.hedge_read.io_cost - remaining;
+    };
+    it.hedge_job = disk_res_.submit(std::move(job));
+}
+
+void Engine::hedge_done(std::size_t idx) {
+    ItemRun& it = batch_->items[idx];
+    it.hedge_job = 0;
+    --outstanding_hedges_;
+    if (it.hedge_read.failed) {
+        // The duplicate drew a fault of its own: drop it; the primary path
+        // (in-service read or pending backoff) keeps running.
+        ++hedges_lost_;
+        return;
+    }
+    ++hedges_won_;
+    read_ewma_.update(it.hedge_read.io_cost.millis());
+    // First completion wins: cancel the losing primary. Both submissions are
+    // non-preemptible FIFO peers, so the hedge can only have started after
+    // the primary did — the primary is in service (its on_abort refunds the
+    // unrendered tail) or waiting out a backoff. cancel() returning false
+    // means the primary resolved at this exact instant and already settled.
+    if (it.read_job != 0) {
+        if (disk_res_.cancel(it.read_job)) ++cancellations_;
+        it.read_job = 0;
+    }
+    if (it.retry_event != 0) {
+        if (events_.cancel(it.retry_event)) ++cancellations_;
+        it.retry_event = 0;
+    }
+    ++atom_reads_;
+    insert_into_cache(it.item.atom, std::move(it.hedge_read.data));
+    proceed_supports(idx);
+}
+
+void Engine::cancel_hedge_machinery(std::size_t idx) {
+    ItemRun& it = batch_->items[idx];
+    if (it.hedge_trigger != 0) {
+        events_.cancel(it.hedge_trigger);
+        it.hedge_trigger = 0;
+    }
+    if (it.hedge_job != 0) {
+        // A still-waiting hedge is silently removed (its read never started);
+        // an in-service one runs its on_abort refund. Either way it lost.
+        if (disk_res_.cancel(it.hedge_job)) {
+            --outstanding_hedges_;
+            ++hedges_lost_;
+            ++cancellations_;
+        }
+        it.hedge_job = 0;
+    }
+}
+
+void Engine::refund_read_tail(const storage::ReadResult& read,
+                              util::SimTime remaining) {
+    // Injected stalls (spikes, stuck reads) render after the mechanical
+    // service in the model, so the refund comes out of the fault-delay
+    // ledger first and only the remainder out of true service time —
+    // keeping the two disjoint after mixed cancels.
+    const util::SimTime fault_part{
+        std::min(remaining.micros, read.fault_delay.micros)};
+    if (fault_part.micros > 0) store_.disk().refund_delay(fault_part);
+    const util::SimTime service_part = remaining - fault_part;
+    store_.disk().cancel_tail(service_part);
+}
+
+bool Engine::drop_expired_subqueries(ItemRun& it) {
+    const util::SimTime now = events_.now();
+    std::vector<sched::SubQuery> expired;
+    auto& subs = it.item.subqueries;
+    for (auto s = subs.begin(); s != subs.end();) {
+        QueryRuntime& rt = runtime_.at(s->query);
+        if ((now - rt.visible_at).millis() > config_.deadline_budget_ms) {
+            if (!rt.deadline_missed) {
+                rt.deadline_missed = true;
+                ++deadline_misses_;
+            }
+            expired.push_back(*s);
+            s = subs.erase(s);
+        } else {
+            ++s;
+        }
+    }
+    if (!expired.empty()) fail_subqueries(expired);
+    return !subs.empty();
 }
 
 void Engine::proceed_supports(std::size_t idx) {
@@ -479,6 +662,8 @@ void Engine::complete_query(QueryRuntime& rt) {
     outcome.failed_subqueries = rt.failed;
     outcome.samples_evaluated = rt.samples_evaluated;
     outcome.sample_digest = rt.sample_digest;
+    outcome.hedged_reads = rt.hedges;
+    outcome.deadline_missed = rt.deadline_missed;
     if (rt.failed > 0) ++degraded_queries_;
     outcomes_.push_back(outcome);
     ++completed_;
@@ -559,10 +744,11 @@ void Engine::try_issue_prefetch() {
             insert_into_cache(atom, std::move(rr.data));
             prefetcher_->on_prefetched(atom);
         };
-        job.on_abort = [this, atom](std::size_t, util::SimTime remaining) {
+        job.on_abort = [this, atom](std::size_t channel, util::SimTime remaining) {
             // The read()'s full cost was charged when service started; give
-            // back the tail the channel never actually rendered.
-            store_.disk().cancel_tail(remaining);
+            // back the tail the channel never actually rendered (split across
+            // the service and fault-delay ledgers so they stay disjoint).
+            refund_read_tail(prefetch_read_[channel], remaining);
             ++prefetch_aborted_;
             prefetcher_->on_aborted(atom);
         };
@@ -729,6 +915,14 @@ RunReport Engine::run(const workload::Workload& workload) {
     report.degraded_queries = degraded_queries_;
     report.retry_backoff_time = retry_backoff_time_;
     report.faults = store_.fault_stats();
+    report.hedges_issued = hedges_issued_;
+    report.hedges_won = hedges_won_;
+    report.hedges_lost = hedges_lost_;
+    report.cancellations = cancellations_;
+    report.wasted_service = wasted_service_;
+    report.peak_hedges_outstanding = peak_hedges_;
+    report.deadline_misses = deadline_misses_;
+    report.retries_suppressed = retries_suppressed_;
     // Halted means the run stopped short; a final batch that happened to
     // cross halt_at while finishing the workload is a completed run.
     report.halted = halted_ && completed_ < total;

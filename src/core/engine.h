@@ -51,6 +51,7 @@
 #include "storage/database_node.h"
 #include "util/event_queue.h"
 #include "util/sim_time.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 #include "workload/job.h"
 
@@ -112,6 +113,8 @@ class Engine {
         util::SimTime visible_at;
         std::uint64_t samples_evaluated = 0;  ///< Interpolated samples so far.
         std::uint64_t sample_digest = kFnvOffset;  ///< FNV-1a over their bytes.
+        std::uint64_t hedges = 0;     ///< Hedge reads charged to this query.
+        bool deadline_missed = false; ///< Exhausted its deadline budget.
     };
 
     struct VisibilityEvent {
@@ -133,6 +136,15 @@ class Engine {
         storage::ReadResult read;      ///< Stashed by the disk job's on_start.
         std::shared_ptr<const field::VoxelBlock> payload;
         std::size_t next_sub = 0;      ///< Next sub-query to evaluate.
+        // Hedging state (all zero/idle unless HedgeSpec::enabled). The demand
+        // phase is active while read_job or retry_event is live; the trigger
+        // and hedge are settled — cancelled or resolved — on every exit from
+        // that phase, so none of these can dangle into evaluation.
+        util::SimResource::JobId read_job = 0;       ///< Outstanding primary read.
+        util::EventQueue::EventId retry_event = 0;   ///< Pending backoff wake-up.
+        util::EventQueue::EventId hedge_trigger = 0; ///< Pending hedge trigger.
+        util::SimResource::JobId hedge_job = 0;      ///< Outstanding hedge read.
+        storage::ReadResult hedge_read;  ///< Stashed by the hedge's on_start.
         // Per-event staging for the current sub-query's real evaluation:
         // exactly one of these carries the result between the modeled
         // service's on_start and compute_done()'s reduction step.
@@ -177,6 +189,35 @@ class Engine {
     void issue_item(std::size_t idx);
     void submit_demand_read(std::size_t idx);
     void demand_read_done(std::size_t idx);
+
+    // --- hedged reads & deadline budgets ---------------------------------
+    /// Current hedge trigger delay: fixed, or a multiple of the EWMA of
+    /// recent successful demand-read service times (T_b estimate until the
+    /// EWMA is primed). Depends only on virtual-time observations, so hedge
+    /// decisions are bit-deterministic.
+    util::SimTime hedge_trigger_delay() const;
+    /// Arm the hedge trigger for item `idx` when hedging is enabled: a
+    /// kernel event that duplicates the demand read if it is still
+    /// unresolved by then.
+    void arm_hedge_trigger(std::size_t idx);
+    /// Trigger fired: issue the duplicate read unless the primary already
+    /// resolved, the outstanding-hedge cap is reached, or every owning
+    /// query's hedge budget is spent.
+    void maybe_issue_hedge(std::size_t idx);
+    /// The hedge read finished: a failed hedge is dropped (the primary path
+    /// continues); a successful one wins the race — the primary's read or
+    /// pending backoff is cancelled and evaluation proceeds on hedge data.
+    void hedge_done(std::size_t idx);
+    /// Settle any hedge machinery of `idx` (pending trigger, outstanding
+    /// hedge read) because the demand phase ended without the hedge winning.
+    void cancel_hedge_machinery(std::size_t idx);
+    /// Refund the unrendered tail of a cancelled read, split between the
+    /// disk's service-time and fault-delay ledgers so the two stay disjoint.
+    void refund_read_tail(const storage::ReadResult& read, util::SimTime remaining);
+    /// Abandon sub-queries of item `idx` whose queries are past the deadline
+    /// budget (they complete degraded with what they have). Returns whether
+    /// any sub-queries remain worth retrying for.
+    bool drop_expired_subqueries(ItemRun& it);
     /// Charge the cold kernel-support ghost reads of item `idx` as one disk
     /// job, then begin evaluation.
     void proceed_supports(std::size_t idx);
@@ -261,6 +302,17 @@ class Engine {
     std::uint64_t prefetch_aborted_ = 0;
     util::SimTime retry_backoff_time_;
     bool halted_ = false;
+    // Hedging, deadline-budget and circuit-breaker accounting.
+    std::uint64_t hedges_issued_ = 0;
+    std::uint64_t hedges_won_ = 0;
+    std::uint64_t hedges_lost_ = 0;
+    std::uint64_t cancellations_ = 0;
+    util::SimTime wasted_service_;       ///< Rendered disk time of cancelled losers.
+    std::size_t outstanding_hedges_ = 0;
+    std::size_t peak_hedges_ = 0;
+    std::uint64_t deadline_misses_ = 0;
+    std::uint64_t retries_suppressed_ = 0;
+    util::Ewma read_ewma_;               ///< Successful demand-read service ms.
     std::uint64_t support_reads_ = 0;
     std::vector<std::uint64_t> support_scratch_;
     std::uint64_t subqueries_done_ = 0;

@@ -53,6 +53,11 @@ struct QueryOutcome {
     /// FNV-1a over this query's sample bytes in sub-query completion order
     /// (kFnvOffset when no samples were produced).
     std::uint64_t sample_digest = kFnvOffset;
+    /// Hedged duplicate reads issued on this query's behalf (HedgeSpec).
+    std::uint64_t hedged_reads = 0;
+    /// The query exhausted its deadline budget: remaining retries were
+    /// abandoned and it completed degraded with the samples it had.
+    bool deadline_missed = false;
 
     util::SimTime response() const noexcept { return completed - visible; }
     bool degraded() const noexcept { return failed_subqueries > 0; }
@@ -98,7 +103,14 @@ struct RunReport {
     double mean_response_ms = 0.0;
     double median_response_ms = 0.0;
     double p95_response_ms = 0.0;
+    /// Tail percentiles (NaN when the run completed no queries — an empty
+    /// distribution has no percentiles; formatting renders them "n/a").
+    double p99_response_ms = 0.0;
+    double p999_response_ms = 0.0;
     double mean_job_span_ms = 0.0;    ///< Job completion - job arrival, averaged.
+    /// Raw per-query response samples in completion order (the cluster pools
+    /// these across nodes for exact cluster-wide percentiles).
+    std::vector<double> response_ms;
 
     cache::CacheStats cache;
     double cache_overhead_per_query_ms = 0.0;  ///< Wall policy overhead per query.
@@ -151,6 +163,18 @@ struct RunReport {
     /// True when the run was cut short by a node-death event (halt_at):
     /// the report covers only the work finished before the halt.
     bool halted = false;
+
+    // --- hedged reads & deadline budgets (all zero when disabled) --------
+    std::uint64_t hedges_issued = 0;  ///< Duplicate demand reads issued.
+    std::uint64_t hedges_won = 0;     ///< Hedge finished first (primary cancelled).
+    std::uint64_t hedges_lost = 0;    ///< Primary beat the hedge, or the hedge faulted.
+    std::uint64_t cancellations = 0;  ///< Loser reads/backoffs cancelled on first completion.
+    /// Disk service the cancelled losers had already rendered — the price of
+    /// hedging (the tail-latency win is bought with this wasted work).
+    util::SimTime wasted_service;
+    std::size_t peak_hedges_outstanding = 0;  ///< Watermark vs HedgeSpec::max_outstanding.
+    std::uint64_t deadline_misses = 0;        ///< Queries that exhausted their budget.
+    std::uint64_t retries_suppressed = 0;     ///< Retries denied by the circuit breaker.
 
     double final_alpha = 0.0;
     sched::GatingStats gating;

@@ -51,16 +51,19 @@ ReadResult AtomStore::read(const AtomId& id, std::size_t channel) {
     result.io_cost = disk_.read(extent->offset, extent->length, channel);
     if (faults_.enabled()) {
         const FaultOutcome fault = faults_.on_read(id);
+        // Injected stalls (stuck commands; spikes on successful reads) are
+        // paid whether or not the request then fails: the channel was held.
+        if (fault.extra_latency.micros > 0) {
+            disk_.charge_delay(fault.extra_latency);
+            result.io_cost += fault.extra_latency;
+            result.fault_delay = fault.extra_latency;
+        }
         if (fault.failed) {
             // The disk still moved its head and spent the service time; the
             // request just returned no usable data.
             result.failed = true;
             result.permanent = fault.permanent;
             return result;
-        }
-        if (fault.extra_latency.micros > 0) {
-            disk_.charge_delay(fault.extra_latency);
-            result.io_cost += fault.extra_latency;
         }
     }
     if (spec_.materialize_data) {

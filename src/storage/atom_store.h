@@ -24,6 +24,11 @@ namespace jaws::storage {
 /// Result of one atom read.
 struct ReadResult {
     util::SimTime io_cost;  ///< Virtual time the disk spent on this read.
+    /// The injected-delay portion of io_cost (latency spikes, stuck-read
+    /// stalls). Cancellation accounting refunds this part to the disk's
+    /// fault_delay ledger and the rest to service_time, keeping the two
+    /// disjoint when a hedged read is cancelled mid-stall.
+    util::SimTime fault_delay;
     std::shared_ptr<const field::VoxelBlock> data;  ///< Payload; null when not materialising.
     bool failed = false;     ///< Injected fault: no data was returned.
     bool permanent = false;  ///< Retrying can never succeed (bad Morton range).

@@ -2,9 +2,42 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <numbers>
 #include <stdexcept>
 
+#include "util/rng.h"
+
 namespace jaws::storage {
+
+namespace {
+/// Uniform [0, 1) from hash(seed, draw index, stream) — stateless, so equal
+/// request sequences straggle identically regardless of what else happened.
+double hash_uniform(std::uint64_t seed, std::uint64_t n,
+                    std::uint64_t stream) noexcept {
+    std::uint64_t state = seed;
+    state ^= util::splitmix64(state) ^ n;
+    state ^= util::splitmix64(state) ^ stream;
+    return static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+double DiskModel::slow_multiplier(std::uint64_t n) const noexcept {
+    const HeavyTailSpec& ht = spec_.heavy_tail;
+    if (hash_uniform(ht.seed, n, 1) >= ht.rate) return 1.0;
+    const double u = hash_uniform(ht.seed, n, 2);
+    double mult;
+    if (ht.pareto) {
+        // Inverse-CDF Pareto: min * (1 - u)^(-1/alpha).
+        mult = ht.pareto_min * std::pow(1.0 - u, -1.0 / ht.pareto_alpha);
+    } else {
+        // Lognormal via Box-Muller on two further hash streams.
+        const double v = hash_uniform(ht.seed, n, 3);
+        const double z = std::sqrt(-2.0 * std::log1p(-u)) *
+                         std::cos(2.0 * std::numbers::pi * v);
+        mult = std::exp(ht.lognormal_mu + ht.lognormal_sigma * z);
+    }
+    return std::max(1.0, mult);
+}
 
 util::SimTime DiskModel::peek_cost(std::uint64_t offset, std::uint64_t bytes,
                                    std::size_t channel) const {
@@ -26,10 +59,20 @@ util::SimTime DiskModel::peek_cost(std::uint64_t offset, std::uint64_t bytes,
 
 util::SimTime DiskModel::read(std::uint64_t offset, std::uint64_t bytes,
                               std::size_t channel) {
-    const util::SimTime cost = peek_cost(offset, bytes, channel);
+    util::SimTime cost = peek_cost(offset, bytes, channel);
     ++stats_.requests;
     if (offset == heads_[channel]) ++stats_.sequential_requests;
     stats_.bytes_read += bytes;
+    if (spec_.heavy_tail.enabled()) {
+        const double mult = slow_multiplier(draws_++);
+        if (mult > 1.0) {
+            const util::SimTime slowed =
+                util::SimTime::from_millis(cost.millis() * mult);
+            ++stats_.slow_draws;
+            stats_.slow_service_extra += slowed - cost;
+            cost = slowed;
+        }
+    }
     stats_.service_time += cost;
     heads_[channel] = offset + bytes;
     return cost;

@@ -16,12 +16,33 @@
 // accounts individual requests.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "util/sim_time.h"
 
 namespace jaws::storage {
+
+/// Heavy-tailed service-time mode: with probability `rate` a read draws a
+/// slowdown multiplier (>= 1) and its service cost is scaled by it. This
+/// models the stragglers of a real RAID array — degraded parity reads,
+/// firmware GC stalls, vibrating spindles — whose *tail*, not mean, decides
+/// interactive latency. Draws are pure hashes of (seed, per-model request
+/// index): the same request sequence always straggles identically, so runs
+/// stay bit-reproducible. `rate == 0` (the default) is indistinguishable
+/// from a model without the feature.
+struct HeavyTailSpec {
+    double rate = 0.0;              ///< Probability a read draws a slow multiplier.
+    bool pareto = false;            ///< Pareto draws instead of lognormal.
+    double lognormal_mu = 1.0;      ///< Mean of log(multiplier) (lognormal mode).
+    double lognormal_sigma = 0.75;  ///< Stddev of log(multiplier).
+    double pareto_alpha = 1.5;      ///< Pareto shape (smaller = heavier tail).
+    double pareto_min = 2.0;        ///< Pareto minimum multiplier (>= 1).
+    std::uint64_t seed = 0x7E11;    ///< Draw stream seed.
+
+    bool enabled() const noexcept { return rate > 0.0; }
+};
 
 /// Tunable parameters of the simulated disk. The seek cost is
 /// settle + full_stroke * sqrt(distance / capacity): reads that are close on
@@ -36,6 +57,7 @@ struct DiskSpec {
     double transfer_mb_per_s = 250.0;  ///< Sustained (RAID-aggregate) transfer rate.
     std::uint64_t capacity_bytes = 1ULL << 40;  ///< Addressable range (stroke scaling);
                                                 ///< AtomStore sets it to the layout size.
+    HeavyTailSpec heavy_tail;          ///< Straggler service draws (default: off).
 };
 
 /// Aggregate request accounting. `service_time` (positioning + transfer
@@ -47,8 +69,11 @@ struct DiskStats {
     std::uint64_t aborted_requests = 0;     ///< Requests cancelled mid-service
                                             ///< (preempted speculative reads).
     std::uint64_t bytes_read = 0;
+    std::uint64_t slow_draws = 0;  ///< Reads that drew a heavy-tail multiplier.
     util::SimTime service_time;  ///< Positioning + transfer time rendered.
     util::SimTime fault_delay;   ///< Injected straggler time (disjoint).
+    util::SimTime slow_service_extra;  ///< Extra service time heavy-tail draws
+                                       ///< added (a subset of service_time).
 
     /// Total virtual time the disk spent on requests.
     util::SimTime total_busy() const noexcept { return service_time + fault_delay; }
@@ -64,6 +89,9 @@ class DiskModel {
 
     /// Cost of reading `bytes` at `offset` on `channel`, advancing that
     /// channel's head. Sequential reads (offset == channel head) pay no seek.
+    /// Under DiskSpec::heavy_tail the cost may additionally carry a seeded
+    /// straggler multiplier (so read() can exceed peek_cost(), which always
+    /// prices the straggler-free case the scheduler's estimates assume).
     util::SimTime read(std::uint64_t offset, std::uint64_t bytes,
                        std::size_t channel = 0);
 
@@ -76,11 +104,24 @@ class DiskModel {
     void charge_delay(util::SimTime extra) noexcept { stats_.fault_delay += extra; }
 
     /// A request already counted by read() was cancelled mid-service
-    /// (preempted speculative read): return the unrendered tail of its
-    /// service time so busy accounting reflects what the disk actually did.
+    /// (preempted speculative read, hedged-out straggler): return the
+    /// unrendered tail of its service time so busy accounting reflects what
+    /// the disk actually did. Clamped so over-cancelling (a tail larger than
+    /// the service time charged so far) can never drive the aggregate
+    /// negative.
     void cancel_tail(util::SimTime unrendered) noexcept {
         ++stats_.aborted_requests;
-        stats_.service_time = stats_.service_time - unrendered;
+        stats_.service_time.micros =
+            std::max<std::int64_t>(0, stats_.service_time.micros - unrendered.micros);
+    }
+
+    /// Give back injected delay (charge_delay) that a cancelled request never
+    /// actually waited out. The counterpart of cancel_tail for the
+    /// fault_delay side of the ledger, keeping the two disjoint after mixed
+    /// cancels; clamped the same way.
+    void refund_delay(util::SimTime unrendered) noexcept {
+        stats_.fault_delay.micros =
+            std::max<std::int64_t>(0, stats_.fault_delay.micros - unrendered.micros);
     }
 
     /// Number of independent service channels.
@@ -96,9 +137,14 @@ class DiskModel {
     const DiskSpec& spec() const noexcept { return spec_; }
 
   private:
+    /// Straggler multiplier (>= 1) for draw index `n`; 1.0 when the draw
+    /// does not straggle.
+    double slow_multiplier(std::uint64_t n) const noexcept;
+
     DiskSpec spec_;
     DiskStats stats_;
     std::vector<std::uint64_t> heads_;
+    std::uint64_t draws_ = 0;  ///< Heavy-tail draw index (one per read).
 };
 
 }  // namespace jaws::storage

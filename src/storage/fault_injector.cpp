@@ -32,6 +32,17 @@ FaultOutcome FaultInjector::on_read(const AtomId& id) {
         return out;
     }
     const std::uint64_t attempt = attempts_[id]++;
+    // Stuck command first: the stall is paid whether the command eventually
+    // returns data or errors out — a hung RAID command under error recovery
+    // holds the caller either way (the hang hedged reads exist to cut off).
+    if (spec_.stuck_read_rate > 0.0 &&
+        hash_uniform(id, attempt, 4) < spec_.stuck_read_rate) {
+        const auto stall = util::SimTime::from_millis(spec_.stuck_read_ms);
+        out.stuck = true;
+        out.extra_latency += stall;
+        ++stats_.stuck_reads;
+        stats_.stuck_delay += stall;
+    }
     if (spec_.transient_error_rate > 0.0 &&
         hash_uniform(id, attempt, 1) < spec_.transient_error_rate) {
         ++stats_.transient_faults;
@@ -42,10 +53,11 @@ FaultOutcome FaultInjector::on_read(const AtomId& id) {
         hash_uniform(id, attempt, 2) < spec_.latency_spike_rate) {
         // Exponential spike magnitude via inverse CDF on a third hash stream.
         const double u = hash_uniform(id, attempt, 3);
-        out.extra_latency = util::SimTime::from_millis(
+        const auto spike = util::SimTime::from_millis(
             -spec_.latency_spike_mean_ms * std::log1p(-u));
+        out.extra_latency += spike;
         ++stats_.latency_spikes;
-        stats_.spike_delay += out.extra_latency;
+        stats_.spike_delay += spike;
     }
     return out;
 }

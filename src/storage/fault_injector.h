@@ -59,6 +59,14 @@ struct FaultSpec {
     double latency_spike_rate = 0.0;
     double latency_spike_mean_ms = 50.0;
 
+    /// Probability that a (successful) read gets *stuck*: the request is
+    /// eventually answered but only after a large fixed stall (a hung RAID
+    /// command being error-recovered, an I/O path reset). Unlike latency
+    /// spikes, the stall is constant and huge — exactly the straggler class
+    /// hedged replica reads exist to cut off.
+    double stuck_read_rate = 0.0;
+    double stuck_read_ms = 2000.0;
+
     /// Permanently unreadable Morton ranges ("bad sectors").
     std::vector<BadRange> bad_ranges;
 
@@ -69,7 +77,7 @@ struct FaultSpec {
     /// and does not by itself enable the storage path).
     bool storage_faults_enabled() const noexcept {
         return transient_error_rate > 0.0 || latency_spike_rate > 0.0 ||
-               !bad_ranges.empty();
+               stuck_read_rate > 0.0 || !bad_ranges.empty();
     }
 };
 
@@ -77,7 +85,9 @@ struct FaultSpec {
 struct FaultOutcome {
     bool failed = false;     ///< The attempt returns no data.
     bool permanent = false;  ///< Retrying can never succeed (bad range).
-    util::SimTime extra_latency;  ///< Straggler delay charged on success.
+    bool stuck = false;      ///< The attempt stalled for a stuck-read delay.
+    util::SimTime extra_latency;  ///< Straggler delay charged on success
+                                  ///< (spike + stuck stall combined).
 };
 
 /// Injection accounting (folded into RunReport::faults).
@@ -85,7 +95,9 @@ struct FaultStats {
     std::uint64_t transient_faults = 0;  ///< Read attempts failed transiently.
     std::uint64_t permanent_faults = 0;  ///< Read attempts hitting a bad range.
     std::uint64_t latency_spikes = 0;    ///< Successful-but-straggling reads.
-    util::SimTime spike_delay;           ///< Total straggler time injected.
+    std::uint64_t stuck_reads = 0;       ///< Read attempts that stalled stuck.
+    util::SimTime spike_delay;           ///< Total spike straggler time injected.
+    util::SimTime stuck_delay;           ///< Total stuck-read stall time (disjoint).
 };
 
 /// Deterministic per-read fault source. Decisions depend only on

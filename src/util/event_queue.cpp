@@ -126,13 +126,14 @@ void SimResource::note_busy_change(std::size_t delta_sign) {
     peak_busy_ = std::max(peak_busy_, busy_);
 }
 
-void SimResource::submit(Job job) {
+SimResource::JobId SimResource::submit(Job job) {
+    const JobId id = next_job_id_++;
     // A free channel serves immediately.
     for (std::size_t c = 0; c < channels_.size(); ++c) {
         if (!channels_[c].busy) {
-            start_on(c, std::move(job));
+            start_on(c, id, std::move(job));
             JAWS_AUDIT(audit());
-            return;
+            return id;
         }
     }
     // No free channel: a non-preemptible job may evict a preemptible one
@@ -148,6 +149,7 @@ void SimResource::submit(Job job) {
             // The channel stays busy (no count change): it switches jobs.
             ch.preemptible = job.preemptible;
             ch.started = events_.now();
+            ch.id = id;
             ch.job = std::move(job);
             ch.duration = ch.job.on_start ? ch.job.on_start(c) : SimTime::zero();
             const std::size_t chan = c;
@@ -155,24 +157,70 @@ void SimResource::submit(Job job) {
                                              completion_priority_,
                                              [this, chan] { finish(chan); });
             JAWS_AUDIT(audit());
-            return;
+            return id;
         }
     }
-    waiting_[job.priority].push_back(std::move(job));
+    waiting_[job.priority].push_back(Waiting{id, std::move(job)});
     JAWS_AUDIT(audit());
+    return id;
 }
 
-void SimResource::start_on(std::size_t channel, Job&& job) {
+bool SimResource::cancel(JobId id) {
+    // In service: unwind the channel as finish() would, but run on_abort with
+    // the unrendered tail instead of on_complete.
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        Channel& ch = channels_[c];
+        if (!ch.busy || ch.id != id) continue;
+        events_.cancel(ch.completion);
+        const SimTime remaining = ch.started + ch.duration - events_.now();
+        note_busy_change(0);
+        ch.busy = false;
+        Job aborted = std::move(ch.job);
+        backfill(c);
+        JAWS_AUDIT(audit());
+        if (aborted.on_abort) aborted.on_abort(c, remaining);
+        if (has_free_channel() && waiting_.empty() && idle_hook_) idle_hook_();
+        return true;
+    }
+    // Still waiting: remove silently (service never started).
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+        auto& q = it->second;
+        for (auto w = q.begin(); w != q.end(); ++w) {
+            if (w->id != id) continue;
+            q.erase(w);
+            if (q.empty()) waiting_.erase(it);
+            JAWS_AUDIT(audit());
+            return true;
+        }
+    }
+    return false;  // already completed, aborted or cancelled
+}
+
+void SimResource::start_on(std::size_t channel, JobId id, Job&& job) {
     Channel& ch = channels_[channel];
     assert(!ch.busy);
     note_busy_change(1);
     ch.busy = true;
     ch.preemptible = job.preemptible;
     ch.started = events_.now();
+    ch.id = id;
     ch.job = std::move(job);
     ch.duration = ch.job.on_start ? ch.job.on_start(channel) : SimTime::zero();
     ch.completion = events_.schedule(ch.started + ch.duration, completion_priority_,
                                      [this, channel] { finish(channel); });
+}
+
+void SimResource::backfill(std::size_t channel) {
+    // Serve the waiting queue before running the finished job's handler so a
+    // job submitted *from* the handler cannot jump ahead of queued work.
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+        if (it->second.empty()) continue;
+        Waiting next = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) waiting_.erase(it);
+        start_on(channel, next.id, std::move(next.job));
+        break;
+    }
 }
 
 void SimResource::finish(std::size_t channel) {
@@ -181,16 +229,7 @@ void SimResource::finish(std::size_t channel) {
     note_busy_change(0);
     ch.busy = false;
     Job done = std::move(ch.job);
-    // Serve the waiting queue before running the completion handler so a job
-    // submitted *from* the handler cannot jump ahead of queued work.
-    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
-        if (it->second.empty()) continue;
-        Job next = std::move(it->second.front());
-        it->second.pop_front();
-        if (it->second.empty()) waiting_.erase(it);
-        start_on(channel, std::move(next));
-        break;
-    }
+    backfill(channel);
     JAWS_AUDIT(audit());
     if (done.on_complete) done.on_complete(channel);
     if (has_free_channel() && waiting_.empty() && idle_hook_) idle_hook_();

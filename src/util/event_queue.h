@@ -114,10 +114,16 @@ class EventQueue {
 /// integrated continuously so callers can report utilisation.
 class SimResource {
   public:
+    /// Identifies a submitted job for cancel(); 0 is never a valid id.
+    using JobId = std::uint64_t;
+
     /// One request. `on_start` runs when a channel begins service and returns
     /// the service duration; `on_complete` runs when service finishes.
-    /// `on_abort` runs instead of `on_complete` when a preemptible job is
-    /// cancelled mid-service (argument: service time *not* rendered).
+    /// `on_abort` runs instead of `on_complete` when an *in-service* job is
+    /// cancelled — preempted mid-service (preemptible jobs only) or
+    /// explicitly cancel()led (any job) — with the service time *not*
+    /// rendered as argument. A job cancelled while still waiting is silently
+    /// discarded: its service never started, so there is nothing to unwind.
     struct Job {
         int priority = 0;         ///< Waiting-queue class; lower serves first.
         bool preemptible = false; ///< May be cancelled for a non-preemptible job.
@@ -132,8 +138,19 @@ class SimResource {
 
     /// Submit a request: starts service immediately on a free channel,
     /// preempts a running preemptible job if the new job is non-preemptible
-    /// and no channel is free, and queues otherwise.
-    void submit(Job job);
+    /// and no channel is free, and queues otherwise. Returns an id usable
+    /// with cancel().
+    JobId submit(Job job);
+
+    /// Cancel a submitted job: a waiting job is removed from the queue
+    /// (nothing started, no callbacks); an in-service job has its completion
+    /// event cancelled, its on_abort run with the unrendered remainder, and
+    /// its channel immediately backfilled from the waiting queue — the
+    /// straggler-cancellation path of hedged reads. Returns false when the
+    /// job already completed, aborted, or was cancelled (safe to race
+    /// against completion at the same virtual instant: first resolution
+    /// wins, the loser is a no-op).
+    bool cancel(JobId id);
 
     std::size_t channels() const noexcept { return channels_.size(); }
     std::size_t busy_channels() const noexcept { return busy_; }
@@ -172,17 +189,26 @@ class SimResource {
         SimTime started;
         SimTime duration;
         EventQueue::EventId completion = 0;
+        JobId id = 0;
         Job job;
     };
 
-    void start_on(std::size_t channel, Job&& job);
+    struct Waiting {
+        JobId id = 0;
+        Job job;
+    };
+
+    void start_on(std::size_t channel, JobId id, Job&& job);
     void finish(std::size_t channel);
+    /// Pull the next waiting job (if any) onto the now-free `channel`.
+    void backfill(std::size_t channel);
     void note_busy_change(std::size_t delta_sign);
 
     EventQueue& events_;
     int completion_priority_;
     std::vector<Channel> channels_;
-    std::map<int, std::deque<Job>> waiting_;
+    std::map<int, std::deque<Waiting>> waiting_;
+    JobId next_job_id_ = 1;
     std::size_t busy_ = 0;
     std::size_t peak_busy_ = 0;
     // Busy-channel integral: accumulated up to last_change_, plus busy_ *

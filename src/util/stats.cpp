@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace jaws::util {
 
@@ -83,13 +84,20 @@ std::string Histogram::to_table(const std::string& value_label) const {
 }
 
 double percentile(std::vector<double> sample, double p) {
-    if (sample.empty()) return 0.0;
+    if (sample.empty()) return std::numeric_limits<double>::quiet_NaN();
     std::sort(sample.begin(), sample.end());
     const double rank = (p / 100.0) * static_cast<double>(sample.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const auto hi = std::min(lo + 1, sample.size() - 1);
     const double frac = rank - static_cast<double>(lo);
     return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+std::string format_quantile(double value) {
+    if (!std::isfinite(value)) return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", value);
+    return buf;
 }
 
 }  // namespace jaws::util

@@ -82,8 +82,14 @@ class Histogram {
 };
 
 /// Exact percentile of a sample (sorts a copy; fine at our sample sizes).
-/// `p` in [0, 100]. Returns 0 for an empty sample.
+/// `p` in [0, 100]. Returns NaN for an empty sample — an empty distribution
+/// has no percentiles, and 0.0 would read as "zero latency" in reports
+/// (render it with format_quantile()).
 double percentile(std::vector<double> sample, double p);
+
+/// Render a percentile value for report tables: fixed-point with one decimal,
+/// or "n/a" when the value is NaN/infinite (empty sample).
+std::string format_quantile(double value);
 
 /// Exponentially weighted moving average with weight `alpha` on the newest
 /// observation: y_i = alpha * x_i + (1 - alpha) * y_{i-1}. The paper's

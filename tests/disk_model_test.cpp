@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "storage/disk_model.h"
 
@@ -126,6 +128,100 @@ TEST(DiskModel, CancelTailRefundsUnrenderedServiceTime) {
     EXPECT_EQ(s.aborted_requests, 1u);
     EXPECT_EQ(s.requests, 1u);  // the request still happened
     EXPECT_EQ(s.service_time.micros, (cost - tail).micros);
+}
+
+TEST(DiskModel, CancelTailClampsOverCancelToZero) {
+    // A tail larger than the service time charged so far (e.g. a refund of
+    // injected delay mistakenly routed here) must clamp at zero, never drive
+    // the aggregate negative.
+    DiskModel disk(spec());
+    const util::SimTime cost = disk.read(0, 1 << 20);
+    disk.cancel_tail(cost + util::SimTime::from_millis(999.0));
+    EXPECT_EQ(disk.stats().service_time.micros, 0);
+    EXPECT_EQ(disk.stats().aborted_requests, 1u);
+}
+
+TEST(DiskModel, CancelTailWithZeroServiceIsANoOpOnTheLedger) {
+    DiskModel disk(spec());
+    disk.cancel_tail(util::SimTime::zero());
+    EXPECT_EQ(disk.stats().service_time.micros, 0);
+    EXPECT_EQ(disk.stats().aborted_requests, 1u);  // the abort itself counts
+}
+
+TEST(DiskModel, MixedCancelsKeepServiceAndFaultLedgersDisjoint) {
+    // A read carrying injected delay is cancelled mid-stall: the fault part
+    // goes back through refund_delay, the service tail through cancel_tail,
+    // and neither ledger bleeds into the other.
+    DiskModel disk(spec());
+    const util::SimTime service = disk.read(0, 1 << 20);
+    const auto injected = util::SimTime::from_millis(500.0);
+    disk.charge_delay(injected);
+    ASSERT_EQ(disk.stats().service_time.micros, service.micros);
+    ASSERT_EQ(disk.stats().fault_delay.micros, injected.micros);
+    // Cancel with 400 ms of the stall plus half the service unrendered.
+    const util::SimTime fault_part = util::SimTime::from_millis(400.0);
+    const util::SimTime service_part{service.micros / 2};
+    disk.refund_delay(fault_part);
+    disk.cancel_tail(service_part);
+    EXPECT_EQ(disk.stats().fault_delay.micros, (injected - fault_part).micros);
+    EXPECT_EQ(disk.stats().service_time.micros, (service - service_part).micros);
+    // Over-refunding the remaining delay clamps at zero as well.
+    disk.refund_delay(util::SimTime::from_millis(1e6));
+    EXPECT_EQ(disk.stats().fault_delay.micros, 0);
+    EXPECT_EQ(disk.stats().service_time.micros, (service - service_part).micros);
+}
+
+// --------------------------------------------------------------------------
+// Heavy-tailed service draws (DiskSpec::heavy_tail)
+// --------------------------------------------------------------------------
+
+TEST(DiskModel, HeavyTailOffIsIndistinguishableFromBaseline) {
+    DiskModel plain(spec());
+    DiskSpec with_field = spec();
+    with_field.heavy_tail = HeavyTailSpec{};  // rate 0 = disabled
+    DiskModel gated(with_field);
+    for (int i = 0; i < 32; ++i) {
+        const auto off = static_cast<std::uint64_t>(i) * (1 << 20);
+        EXPECT_EQ(plain.read(off, 1 << 20).micros, gated.read(off, 1 << 20).micros);
+    }
+    EXPECT_EQ(gated.stats().slow_draws, 0u);
+    EXPECT_EQ(gated.stats().slow_service_extra.micros, 0);
+}
+
+TEST(DiskModel, HeavyTailDrawsInflateSomeReadsDeterministically) {
+    DiskSpec s = spec();
+    s.heavy_tail.rate = 0.3;
+    s.heavy_tail.lognormal_mu = 2.0;
+    s.heavy_tail.seed = 42;
+    const auto run = [&s] {
+        DiskModel disk(s);
+        std::vector<std::int64_t> costs;
+        for (int i = 0; i < 64; ++i)
+            costs.push_back(disk.read(static_cast<std::uint64_t>(i) * (1 << 20),
+                                      1 << 20).micros);
+        return std::make_pair(costs, disk.stats().slow_draws);
+    };
+    const auto [a, drew_a] = run();
+    const auto [b, drew_b] = run();
+    EXPECT_EQ(a, b);  // same seed, same request sequence -> identical costs
+    EXPECT_EQ(drew_a, drew_b);
+    EXPECT_GT(drew_a, 0u);
+    EXPECT_LT(drew_a, 64u);  // rate 0.3 straggles some, not all
+}
+
+TEST(DiskModel, HeavyTailSlowReadsExceedPeekCost) {
+    DiskSpec s = spec();
+    s.heavy_tail.rate = 1.0;  // every read straggles
+    s.heavy_tail.pareto = true;
+    s.heavy_tail.pareto_min = 2.0;
+    DiskModel disk(s);
+    const util::SimTime peek = disk.peek_cost(0, 1 << 20);
+    const util::SimTime paid = disk.read(0, 1 << 20);
+    // Pareto multipliers are >= pareto_min, so the straggler at least
+    // doubles the straggler-free price peek_cost() quotes.
+    EXPECT_GE(paid.micros, 2 * peek.micros);
+    EXPECT_EQ(disk.stats().slow_draws, 1u);
+    EXPECT_EQ(disk.stats().slow_service_extra.micros, (paid - peek).micros);
 }
 
 TEST(DiskModel, ResetStatsKeepsHead) {

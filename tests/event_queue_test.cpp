@@ -361,5 +361,115 @@ TEST(SimResource, ZeroChannelsRejected) {
     EXPECT_THROW(SimResource(q, 0, 0), std::invalid_argument);
 }
 
+// --------------------------------------------------------------------------
+// Explicit cancellation (SimResource::cancel — hedged-read straggler path)
+// --------------------------------------------------------------------------
+
+TEST(SimResource, CancelInServiceJobRunsOnAbortWithRemainder) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    std::int64_t aborted_remaining = -1;
+    SimResource::Job job = fixed_job(us(100), done, q);
+    job.on_abort = [&](std::size_t, SimTime remaining) {
+        aborted_remaining = remaining.micros;
+    };
+    const SimResource::JobId id = disk.submit(std::move(job));
+    q.schedule(us(30), 0, [&] { EXPECT_TRUE(disk.cancel(id)); });
+    while (q.run_one()) {
+    }
+    EXPECT_TRUE(done.empty());             // on_complete never ran
+    EXPECT_EQ(aborted_remaining, 70);      // 100 - 30 unrendered
+    EXPECT_TRUE(disk.idle());
+    EXPECT_TRUE(disk.audit());
+    EXPECT_TRUE(q.audit());
+}
+
+TEST(SimResource, CancelWaitingJobIsSilentAndCancelOfResolvedReturnsFalse) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    const SimResource::JobId first = disk.submit(fixed_job(us(10), done, q, 1));
+    bool waiting_aborted = false;
+    SimResource::Job waiting = fixed_job(us(10), done, q, 2);
+    waiting.on_abort = [&](std::size_t, SimTime) { waiting_aborted = true; };
+    const SimResource::JobId second = disk.submit(std::move(waiting));
+    EXPECT_TRUE(disk.cancel(second));   // removed from the queue silently
+    EXPECT_FALSE(waiting_aborted);      // service never started
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(done, (std::vector<std::int64_t>{1}));
+    EXPECT_FALSE(disk.cancel(first));   // already completed
+    EXPECT_FALSE(disk.cancel(second));  // already cancelled
+    EXPECT_TRUE(disk.audit());
+}
+
+TEST(SimResource, CancelBackfillsTheFreedChannelFromTheQueue) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    const SimResource::JobId head = disk.submit(fixed_job(us(100), done, q, 1));
+    disk.submit(fixed_job(us(5), done, q, 2));  // waits behind the head
+    q.schedule(us(10), 0, [&] { disk.cancel(head); });
+    while (q.run_one()) {
+    }
+    // The waiting job started at the cancel instant and ran to completion.
+    EXPECT_EQ(done, (std::vector<std::int64_t>{2}));
+    EXPECT_EQ(q.now().micros, 15);
+    EXPECT_TRUE(disk.audit());
+}
+
+TEST(SimResource, HedgePairRaceAtExactCompletionTickHasOneWinner) {
+    // The hedged-read race: primary and hedge finish at the same virtual
+    // instant. Whichever completion event fires first (FIFO on equal time
+    // and priority: the primary's) cancels the other; exactly one
+    // on_complete runs, the loser's on_abort sees zero remaining, and both
+    // kernel audits stay clean — no double-completion, no dangling event.
+    EventQueue q;
+    SimResource disk(q, 2, 0);
+    int completions = 0;
+    int aborts = 0;
+    SimResource::JobId primary = 0, hedge = 0;
+    std::int64_t abort_remaining = -1;
+
+    SimResource::Job a;
+    a.on_start = [](std::size_t) { return us(50); };
+    a.on_complete = [&](std::size_t) {
+        ++completions;
+        EXPECT_TRUE(disk.cancel(hedge));  // loser cancelled at the same tick
+    };
+    a.on_abort = [&](std::size_t, SimTime r) {
+        ++aborts;
+        abort_remaining = r.micros;
+    };
+    SimResource::Job b;
+    b.on_start = [](std::size_t) { return us(50); };
+    b.on_complete = [&](std::size_t) {
+        ++completions;
+        EXPECT_TRUE(disk.cancel(primary));
+    };
+    b.on_abort = [&](std::size_t, SimTime r) {
+        ++aborts;
+        abort_remaining = r.micros;
+    };
+    primary = disk.submit(std::move(a));
+    hedge = disk.submit(std::move(b));
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(completions, 1);      // exactly one winner
+    EXPECT_EQ(aborts, 1);           // exactly one cancelled loser
+    EXPECT_EQ(abort_remaining, 0);  // fully rendered, cancelled at the wire
+    EXPECT_TRUE(disk.idle());
+    EXPECT_TRUE(disk.audit());
+    EXPECT_TRUE(q.audit());
+}
+
+TEST(SimResource, CancelUnknownIdReturnsFalse) {
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    EXPECT_FALSE(disk.cancel(0));
+    EXPECT_FALSE(disk.cancel(12345));
+}
+
 }  // namespace
 }  // namespace jaws::util

@@ -1,6 +1,9 @@
 // Tests for run-report metrics helpers (core/metrics.h).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "core/metrics.h"
 
 namespace jaws::core {
@@ -23,6 +26,30 @@ TEST(Metrics, FillResponseStatsEmptyIsNoop) {
     fill_response_stats({}, report);
     EXPECT_EQ(report.mean_response_ms, 0.0);
     EXPECT_EQ(report.steady_throughput_qps, 0.0);
+}
+
+TEST(Metrics, EmptyRunPercentilesAreNaNAndRenderAsNA) {
+    // Percentiles of an empty completion set are NaN — a 0.0 would read as
+    // "zero latency" — and the summary line renders them "n/a".
+    RunReport report;
+    report.scheduler_name = "empty";
+    fill_response_stats({}, report);
+    EXPECT_TRUE(std::isnan(report.median_response_ms));
+    EXPECT_TRUE(std::isnan(report.p95_response_ms));
+    EXPECT_TRUE(std::isnan(report.p99_response_ms));
+    EXPECT_TRUE(std::isnan(report.p999_response_ms));
+    const std::string line = report.summary();
+    EXPECT_NE(line.find("n/a"), std::string::npos);
+}
+
+TEST(Metrics, TailPercentilesAreMonotone) {
+    std::vector<QueryOutcome> outcomes;
+    for (int i = 1; i <= 1000; ++i) outcomes.push_back(outcome(0.0, i * 0.001));
+    RunReport report;
+    fill_response_stats(outcomes, report);
+    EXPECT_GE(report.p99_response_ms, report.p95_response_ms);
+    EXPECT_GE(report.p999_response_ms, report.p99_response_ms);
+    EXPECT_EQ(report.response_ms.size(), 1000u);  // pooled samples retained
 }
 
 TEST(Metrics, FillResponseStatsMeanMedianP95) {

@@ -225,6 +225,71 @@ TEST(ConfigValidation, RejectsDegenerateEngineConfigs) {
     }
 }
 
+TEST(ConfigValidation, RejectsInvertedBackoffSchedule) {
+    // A cap below the base would silently clamp every retry delay to the cap
+    // and invert the exponential schedule; reject it at construction.
+    core::EngineConfig c = tiny_config();
+    c.retry.backoff_base_ms = 50.0;
+    c.retry.backoff_cap_ms = 10.0;
+    EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    c.retry.backoff_cap_ms = 50.0;  // cap == base is legal (constant backoff)
+    EXPECT_NO_THROW(core::Engine{c});
+}
+
+TEST(ConfigValidation, RejectsDegenerateHedgeAndTailSpecs) {
+    {
+        core::EngineConfig c = tiny_config();
+        c.hedge.enabled = true;
+        c.hedge.trigger_ewma_multiplier = 0.0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.hedge.enabled = true;
+        c.hedge.ewma_alpha = 1.5;  // outside (0, 1]
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.hedge.enabled = true;
+        c.hedge.max_outstanding = 0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.hedge.enabled = true;
+        c.hedge.budget_per_query = 0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.hedge.trigger_ms = -1.0;  // checked even while disabled
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.disk.heavy_tail.rate = 1.5;  // not a probability
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.disk.heavy_tail.rate = 0.5;
+        c.disk.heavy_tail.pareto = true;
+        c.disk.heavy_tail.pareto_min = 0.5;  // a multiplier below 1
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.faults.stuck_read_rate = -0.1;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+    {
+        core::EngineConfig c = tiny_config();
+        c.deadline_budget_ms = -5.0;
+        EXPECT_THROW(core::Engine{c}, std::invalid_argument);
+    }
+}
+
 TEST(ConfigValidation, RejectsDegenerateClusterConfigs) {
     {
         core::ClusterConfig c;

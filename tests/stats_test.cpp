@@ -1,6 +1,8 @@
 // Tests for streaming statistics, histograms, percentiles, EWMA (util/stats.h).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -108,7 +110,17 @@ TEST(Histogram, TableRendersEveryBin) {
     EXPECT_NE(table.find("50.0%"), std::string::npos);
 }
 
-TEST(Percentile, EmptySample) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+TEST(Percentile, EmptySampleIsNaN) {
+    // An empty distribution has no percentiles; 0.0 would read as "zero
+    // latency" in reports, so the contract is NaN (rendered "n/a").
+    EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+    EXPECT_TRUE(std::isnan(percentile({}, 99.9)));
+}
+
+TEST(Percentile, FormatQuantileRendersNaNAsNA) {
+    EXPECT_EQ(format_quantile(percentile({}, 99.0)), "n/a");
+    EXPECT_EQ(format_quantile(12.34), "12.3");
+}
 
 TEST(Percentile, MedianOfOddSample) {
     EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
