@@ -1,23 +1,40 @@
 // The Turbulence database cluster facade (paper Fig. 7).
 //
 // In production, data are partitioned spatially across nodes, each running
-// its own JAWS instance; incoming queries are split by partition and each
-// node schedules its share independently. This facade reproduces that
-// architecture: atoms are assigned to nodes by contiguous Morton ranges
-// (preserving spatial locality within a node), each job is projected onto
-// every node it touches, and the per-node engines run in parallel on a
-// thread pool. Reported cluster throughput uses the slowest node's virtual
-// makespan — the cluster is done when its last node is.
+// its own JAWS instance; incoming queries are routed to the nodes owning
+// their atoms and replicas absorb both load and failures. Two execution
+// modes reproduce that architecture:
 //
-// Fault tolerance: Morton ranges may be replicated k ways (range owned by
-// node n is also stored on nodes n+1 .. n+k-1 mod N, the classic chained
-// declustering layout). When FaultSpec::node_down kills a node mid-run, the
-// queries it had not completed by its death are re-projected onto the first
-// surviving replica of its range and re-run there after that replica
-// finishes its own share; ClusterReport::makespan then reports the degraded
-// end-to-end span. With replication 1 the dead node's unfinished queries
-// are *lost* (reported, never silently dropped) — exactly the trade-off a
-// production deployment makes.
+//   * Unified kernel (the default, ClusterMode::kUnified): every node's
+//     engine shares ONE util::EventQueue. Each node is a set of SimResource
+//     disk/CPU channels plus its own scheduler state; query arrivals are
+//     routed to owning nodes at event time (node_of at route time, not
+//     partition time); replicated atom reads may be served by any surviving
+//     replica in the chain n .. n+k-1 — the kernel diverts a read to the
+//     chain member with the shallowest modeled disk queue once the owner's
+//     backlog exceeds it by a locality margin (a diversion forfeits the
+//     owner's sequential head position), so replication doubles as load
+//     balancing. Node deaths fire inside the kernel: the dead node finishes
+//     its in-flight batch, then its unfinished work is re-routed in-line to
+//     surviving replicas, contending for their modeled disks and CPUs (and
+//     interacting with hedging, retries and deadline budgets) instead of
+//     being summed after the fact.
+//   * Legacy per-node path (ClusterMode::kLegacy): the workload is
+//     partitioned up front, N isolated engines run in parallel on a thread
+//     pool, and failover is a post-hoc re-run on the first surviving
+//     replica. Kept as the golden-pinned equivalence baseline: at
+//     replication = 1 with no node deaths the unified kernel produces
+//     bit-identical per-query outcomes and digests
+//     (tests/cluster_equivalence_test.cpp).
+//
+// Atoms are assigned to nodes by contiguous Morton ranges (preserving
+// spatial locality within a node); ranges may be replicated k ways (range
+// owned by node n is also stored on nodes n+1 .. n+k-1 mod N, the classic
+// chained declustering layout of the JHU turbulence cluster). With
+// replication 1 a dead node's unfinished queries are *lost* (reported,
+// never silently dropped) — exactly the trade-off a production deployment
+// makes. Reported cluster throughput uses the slowest node's virtual
+// makespan — the cluster is done when its last node is.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +46,12 @@
 
 namespace jaws::core {
 
+/// How TurbulenceCluster::run executes the node engines.
+enum class ClusterMode {
+    kUnified,  ///< One shared event kernel, route-time arrivals, replica reads.
+    kLegacy,   ///< N isolated engines + post-hoc failover (equivalence baseline).
+};
+
 /// Cluster-wide configuration: one node template replicated `nodes` times.
 struct ClusterConfig {
     EngineConfig node;       ///< Per-node stack configuration.
@@ -36,10 +59,13 @@ struct ClusterConfig {
     /// Copies of each Morton range (1 = no redundancy). Range owned by node
     /// n is also readable on nodes n+1 .. n+replication-1 (mod nodes).
     std::size_t replication = 1;
+    ClusterMode mode = ClusterMode::kUnified;
 
     /// Reject nonsensical cluster configurations (zero nodes, replication
-    /// outside [1, nodes], node-down events naming nonexistent nodes) with
-    /// a descriptive std::invalid_argument; also validates the node config.
+    /// outside [1, nodes], node-down events naming nonexistent nodes, more
+    /// than one node-down event for the same node, or a node-down at tick 0
+    /// — a node that was never up) with a descriptive std::invalid_argument
+    /// naming the offending field; also validates the node config.
     void validate() const;
 };
 
@@ -47,11 +73,11 @@ struct ClusterConfig {
 struct ClusterReport {
     std::vector<RunReport> per_node;      ///< One report per node (may be empty runs).
     /// Recovery runs executed on replicas after node deaths (one per
-    /// failover, in node-death order). Their work is included in the
-    /// aggregate figures below.
+    /// failover, in node-death order). Legacy mode only: the unified kernel
+    /// absorbs failover work into the survivors' per_node reports instead.
     std::vector<RunReport> recovery;
     util::SimTime makespan;               ///< Slowest node's virtual makespan
-                                          ///< (including failover re-runs).
+                                          ///< (including failover work).
     double total_throughput_qps = 0.0;    ///< Total query parts / makespan.
     double mean_response_ms = 0.0;        ///< Query-part weighted mean response.
     double cache_hit_rate = 0.0;          ///< Aggregate over all nodes.
@@ -65,10 +91,23 @@ struct ClusterReport {
     double p99_response_ms = 0.0;
     double p999_response_ms = 0.0;
 
+    // --- routing accounting (unified kernel; zero on the legacy path) ---
+    std::uint64_t routed_queries = 0;     ///< Query parts routed to a node at
+                                          ///< their arrival event.
+    std::uint64_t rerouted_arrivals = 0;  ///< Parts whose owner was already
+                                          ///< dead at arrival, sent to a
+                                          ///< surviving replica instead.
+    std::uint64_t replica_reads = 0;      ///< Atom reads served by a replica
+                                          ///< other than the reader's node.
+    /// Merged cluster timeline (unified mode with timeline_window_s > 0):
+    /// per-window completions summed over nodes, response completion-
+    /// weighted, utilisations averaged over the nodes reporting the window.
+    std::vector<TimelinePoint> timeline;
+
     // --- fault & recovery accounting ---
     std::size_t dead_nodes = 0;       ///< Nodes killed by node-down events.
-    std::size_t failovers = 0;        ///< Deaths whose work a replica re-ran.
-    std::size_t requeued_queries = 0; ///< Query parts re-projected onto replicas.
+    std::size_t failovers = 0;        ///< Deaths whose work a replica picked up.
+    std::size_t requeued_queries = 0; ///< Query parts re-routed off a dead node.
     std::size_t lost_queries = 0;     ///< Parts lost for lack of a surviving replica.
     std::uint64_t degraded_queries = 0;  ///< Sum of per-node degraded completions.
     std::uint64_t read_retries = 0;      ///< Sum over nodes and recovery runs.
@@ -95,16 +134,25 @@ class TurbulenceCluster {
     static std::size_t node_of(std::uint64_t morton, std::uint64_t atoms_per_step,
                                std::size_t nodes);
 
+    /// Project one job onto every node it touches: element n of the result
+    /// holds the queries whose footprint atoms node n owns (queries keep
+    /// their IDs, footprints filtered, jobs re-sequenced; element n is empty
+    /// when the job does not touch node n). Shared by partition-time
+    /// splitting (legacy) and route-time splitting (unified kernel).
+    std::vector<workload::Job> project(const workload::Job& job) const;
+
     /// Project `workload` onto each node (queries keep their IDs; footprints
     /// are filtered to the node's atoms; queries that touch no atom of the
     /// node are dropped and the job re-sequenced). Exposed for tests.
     std::vector<workload::Workload> partition(const workload::Workload& workload) const;
 
-    /// Partition, run every node engine in parallel, handle node deaths by
-    /// re-running unfinished work on surviving replicas, aggregate.
+    /// Execute `workload` on the configured mode's kernel and aggregate.
     ClusterReport run(const workload::Workload& workload) const;
 
   private:
+    ClusterReport run_legacy(const workload::Workload& workload) const;
+    ClusterReport run_unified(const workload::Workload& workload) const;
+
     ClusterConfig config_;
 };
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "cache/lru.h"
+#include "field/interpolation.h"
 #include "cache/lru_k.h"
 #include "cache/slru.h"
 #include "cache/two_q.h"
@@ -39,14 +41,25 @@ std::uint64_t fold_samples(std::uint64_t h,
 }
 }  // namespace
 
-Engine::Engine(const EngineConfig& config)
+Engine::Engine(const EngineConfig& config) : Engine(config, nullptr, 0) {}
+
+Engine::Engine(const EngineConfig& config, util::EventQueue& events,
+               std::uint32_t node_id)
+    : Engine(config, &events, node_id) {}
+
+Engine::Engine(const EngineConfig& config, util::EventQueue* shared_events,
+               std::uint32_t node_id)
     : config_(validated(config)),
+      owned_events_(shared_events != nullptr ? nullptr
+                                             : std::make_unique<util::EventQueue>()),
+      events_(shared_events != nullptr ? *shared_events : *owned_events_),
+      node_id_(node_id),
       store_(storage::AtomStoreSpec{config.grid, config.field, config.disk,
                                     config.io_depth, config.materialize_data,
                                     config.faults}),
       db_(config.grid, config.compute),
-      disk_res_(events_, config.io_depth, kPriService),
-      cpu_res_(events_, config.compute_workers, kPriService),
+      disk_res_(events_, config.io_depth, kPriService, node_id),
+      cpu_res_(events_, config.compute_workers, kPriService, node_id),
       read_ewma_(config.hedge.ewma_alpha) {
     config_.estimates.atoms_per_step = config_.grid.atoms_per_step();
     cache_ = std::make_unique<cache::BufferCache>(config.cache.capacity_atoms, make_policy());
@@ -126,9 +139,22 @@ void Engine::push_visibility(util::SimTime at, workload::QueryId id) {
     // admission pass of the dispatch event that is (or will be) scheduled for
     // this instant.
     if (at > events_.now())
-        events_.schedule(at, kPriVisibility, [this] {
+        events_.schedule(at, kPriVisibility, node_id_, [this] {
             if (!halted_ && batch_ == nullptr) ensure_dispatch();
         });
+}
+
+void Engine::require_kernel_fit(const workload::Job& job) const {
+    if (!config_.materialize_data) return;
+    for (const workload::Query& q : job.queries)
+        if (field::kernel_half_width(q.order) > config_.grid.ghost)
+            throw std::invalid_argument(
+                "Engine: interpolation order " +
+                std::to_string(static_cast<int>(q.order)) + " (query " +
+                std::to_string(q.id) + ") needs kernel half-width " +
+                std::to_string(field::kernel_half_width(q.order)) +
+                " <= grid.ghost (" + std::to_string(config_.grid.ghost) +
+                ") when materialize_data is set");
 }
 
 void Engine::submit_job(const workload::Job& job) {
@@ -178,7 +204,7 @@ void Engine::admit_due() {
 void Engine::ensure_dispatch() {
     if (dispatch_pending_ || halted_) return;
     dispatch_pending_ = true;
-    events_.schedule(events_.now(), kPriDispatch, [this] {
+    events_.schedule(events_.now(), kPriDispatch, node_id_, [this] {
         dispatch_pending_ = false;
         on_dispatch();
     });
@@ -216,12 +242,19 @@ void Engine::start_batch(std::vector<sched::BatchItem> items) {
     // pipeline starts issuing items.
     events_.schedule(
         events_.now() + util::SimTime::from_millis(config_.dispatch_overhead_ms),
-        kPriService, [this] { issue_more(); });
+        kPriService, node_id_, [this] { issue_more(); });
 }
 
 void Engine::issue_more() {
+    // The pipeline window scales with the disks that can serve this node's
+    // reads: a replica chain of depth d keeps d * io_depth items in flight
+    // (each disk contributes its own channel parallelism). Without a router
+    // — or at replication 1 — this is exactly io_depth.
+    const std::size_t window =
+        config_.io_depth *
+        (router_ != nullptr ? router_->read_concurrency(node_id_) : 1);
     while (batch_ != nullptr && batch_->next_issue < batch_->items.size() &&
-           batch_->in_flight < config_.io_depth) {
+           batch_->in_flight < window) {
         const std::size_t idx = batch_->next_issue++;
         ++batch_->in_flight;
         issue_item(idx);
@@ -243,23 +276,32 @@ void Engine::issue_item(std::size_t idx) {
 }
 
 void Engine::submit_demand_read(std::size_t idx) {
+    ItemRun& it = batch_->items[idx];
+    // Replica-aware routing (unified cluster): any surviving member of the
+    // atom's replica chain may serve the read; the router picks the one with
+    // the shallowest modeled disk queue. Standalone engines serve locally —
+    // the exact pre-router event sequence.
+    it.read_route = router_ != nullptr
+                        ? router_->route_read(node_id_, it.item.atom.morton)
+                        : self_route();
+    if (it.read_route.node != node_id_) ++replica_reads_;
     util::SimResource::Job job;
     job.priority = 0;
     job.preemptible = false;
     job.on_start = [this, idx](std::size_t channel) {
-        ItemRun& it = batch_->items[idx];
-        it.read = store_.read(it.item.atom, channel);
-        return it.read.io_cost;
+        ItemRun& run = batch_->items[idx];
+        run.read = run.read_route.store->read(run.item.atom, channel);
+        return run.read.io_cost;
     };
     job.on_complete = [this, idx](std::size_t) { demand_read_done(idx); };
     job.on_abort = [this, idx](std::size_t, util::SimTime remaining) {
         // Cancelled because the hedge won: refund the unrendered tail and
         // count the rendered part as the price of hedging.
-        ItemRun& it = batch_->items[idx];
-        refund_read_tail(it.read, remaining);
-        wasted_service_ += it.read.io_cost - remaining;
+        ItemRun& run = batch_->items[idx];
+        refund_read_tail(run.read_route, run.read, remaining);
+        wasted_service_ += run.read.io_cost - remaining;
     };
-    batch_->items[idx].read_job = disk_res_.submit(std::move(job));
+    it.read_job = it.read_route.disk->submit(std::move(job));
 }
 
 void Engine::demand_read_done(std::size_t idx) {
@@ -292,7 +334,7 @@ void Engine::demand_read_done(std::size_t idx) {
             ++read_failures_;
             cancel_hedge_machinery(idx);
             fail_subqueries(it.item.subqueries);
-            if (store_.faults().permanently_bad(it.item.atom))
+            if (it.read_route.store->faults().permanently_bad(it.item.atom))
                 fail_subqueries(scheduler_->purge_atom(it.item.atom));
             item_finished(idx);
             return;
@@ -307,8 +349,8 @@ void Engine::demand_read_done(std::size_t idx) {
         retry_backoff_time_ += backoff;
         ++read_retries_;
         ++it.attempt;
-        it.retry_event =
-            events_.schedule(events_.now() + backoff, kPriService, [this, idx] {
+        it.retry_event = events_.schedule(
+            events_.now() + backoff, kPriService, node_id_, [this, idx] {
                 batch_->items[idx].retry_event = 0;
                 submit_demand_read(idx);
             });
@@ -321,7 +363,7 @@ void Engine::demand_read_done(std::size_t idx) {
     ++read_failures_;
     cancel_hedge_machinery(idx);
     fail_subqueries(it.item.subqueries);
-    if (store_.faults().permanently_bad(it.item.atom))
+    if (it.read_route.store->faults().permanently_bad(it.item.atom))
         fail_subqueries(scheduler_->purge_atom(it.item.atom));
     item_finished(idx);
 }
@@ -343,7 +385,7 @@ void Engine::arm_hedge_trigger(std::size_t idx) {
     // id sequence — and therefore every golden report — is untouched.
     if (!config_.hedge.enabled) return;
     batch_->items[idx].hedge_trigger = events_.schedule(
-        events_.now() + hedge_trigger_delay(), kPriService, [this, idx] {
+        events_.now() + hedge_trigger_delay(), kPriService, node_id_, [this, idx] {
             batch_->items[idx].hedge_trigger = 0;
             maybe_issue_hedge(idx);
         });
@@ -369,12 +411,21 @@ void Engine::maybe_issue_hedge(std::size_t idx) {
     ++hedges_issued_;
     ++outstanding_hedges_;
     peak_hedges_ = std::max(peak_hedges_, outstanding_hedges_);
+    // The hedge prefers a surviving replica *other* than the primary's node,
+    // so the duplicate rides independent hardware; a standalone engine (or a
+    // chain with no alternative) lands it on another channel of the same
+    // disk, as in single-node hedging.
+    it.hedge_route =
+        router_ != nullptr
+            ? router_->route_hedge(node_id_, it.item.atom.morton, it.read_route.node)
+            : self_route();
+    if (it.hedge_route.node != node_id_) ++replica_reads_;
     util::SimResource::Job job;
     job.priority = 0;
     job.preemptible = false;
     job.on_start = [this, idx](std::size_t channel) {
         ItemRun& run = batch_->items[idx];
-        run.hedge_read = store_.read(run.item.atom, channel);
+        run.hedge_read = run.hedge_route.store->read(run.item.atom, channel);
         return run.hedge_read.io_cost;
     };
     job.on_complete = [this, idx](std::size_t) { hedge_done(idx); };
@@ -382,10 +433,10 @@ void Engine::maybe_issue_hedge(std::size_t idx) {
         // Cancelled because the primary won: refund the unrendered tail and
         // count the rendered part as the price of hedging.
         ItemRun& run = batch_->items[idx];
-        refund_read_tail(run.hedge_read, remaining);
+        refund_read_tail(run.hedge_route, run.hedge_read, remaining);
         wasted_service_ += run.hedge_read.io_cost - remaining;
     };
-    it.hedge_job = disk_res_.submit(std::move(job));
+    it.hedge_job = it.hedge_route.disk->submit(std::move(job));
 }
 
 void Engine::hedge_done(std::size_t idx) {
@@ -406,7 +457,7 @@ void Engine::hedge_done(std::size_t idx) {
     // unrendered tail) or waiting out a backoff. cancel() returning false
     // means the primary resolved at this exact instant and already settled.
     if (it.read_job != 0) {
-        if (disk_res_.cancel(it.read_job)) ++cancellations_;
+        if (it.read_route.disk->cancel(it.read_job)) ++cancellations_;
         it.read_job = 0;
     }
     if (it.retry_event != 0) {
@@ -427,7 +478,7 @@ void Engine::cancel_hedge_machinery(std::size_t idx) {
     if (it.hedge_job != 0) {
         // A still-waiting hedge is silently removed (its read never started);
         // an in-service one runs its on_abort refund. Either way it lost.
-        if (disk_res_.cancel(it.hedge_job)) {
+        if (it.hedge_route.disk->cancel(it.hedge_job)) {
             --outstanding_hedges_;
             ++hedges_lost_;
             ++cancellations_;
@@ -436,17 +487,20 @@ void Engine::cancel_hedge_machinery(std::size_t idx) {
     }
 }
 
-void Engine::refund_read_tail(const storage::ReadResult& read,
+void Engine::refund_read_tail(const storage::ReadRoute& route,
+                              const storage::ReadResult& read,
                               util::SimTime remaining) {
     // Injected stalls (spikes, stuck reads) render after the mechanical
     // service in the model, so the refund comes out of the fault-delay
     // ledger first and only the remainder out of true service time —
-    // keeping the two disjoint after mixed cancels.
+    // keeping the two disjoint after mixed cancels. The refund goes to the
+    // disk that rendered the read — a replica's, when the route crossed
+    // nodes.
     const util::SimTime fault_part{
         std::min(remaining.micros, read.fault_delay.micros)};
-    if (fault_part.micros > 0) store_.disk().refund_delay(fault_part);
+    if (fault_part.micros > 0) route.store->disk().refund_delay(fault_part);
     const util::SimTime service_part = remaining - fault_part;
-    store_.disk().cancel_tail(service_part);
+    route.store->disk().cancel_tail(service_part);
 }
 
 bool Engine::drop_expired_subqueries(ItemRun& it) {
@@ -623,8 +677,11 @@ void Engine::end_batch() {
     batch_.reset();
     // Re-admit and re-dispatch at this instant — unless the node died
     // mid-batch, in which case the batch was allowed to finish but nothing
-    // new starts.
-    if (!halted_) ensure_dispatch();
+    // new starts (and the cluster kernel may now fail the leftovers over).
+    if (!halted_)
+        ensure_dispatch();
+    else
+        maybe_halt_drained();
 }
 
 // --------------------------------------------------------------------------
@@ -653,6 +710,7 @@ void Engine::fail_subqueries(const std::vector<sched::SubQuery>& subs) {
 
 void Engine::complete_query(QueryRuntime& rt) {
     const util::SimTime now = events_.now();
+    end_time_ = now;  // the shared kernel has no per-node loop to observe this
     timeline_tick(now, (now - rt.visible_at).millis());
     QueryOutcome outcome;
     outcome.query = rt.query->id;
@@ -748,7 +806,7 @@ void Engine::try_issue_prefetch() {
             // The read()'s full cost was charged when service started; give
             // back the tail the channel never actually rendered (split across
             // the service and fault-delay ledgers so they stay disjoint).
-            refund_read_tail(prefetch_read_[channel], remaining);
+            refund_read_tail(self_route(), prefetch_read_[channel], remaining);
             ++prefetch_aborted_;
             prefetcher_->on_aborted(atom);
         };
@@ -760,8 +818,9 @@ void Engine::try_issue_prefetch() {
 // Accounting
 // --------------------------------------------------------------------------
 
-void Engine::account_tick() {
-    const util::SimTime now = events_.now();
+void Engine::account_tick() { account_to(events_.now()); }
+
+void Engine::account_to(util::SimTime now) {
     const util::SimTime dt = now - last_account_;
     if (dt.micros <= 0) return;
     last_account_ = now;
@@ -824,58 +883,129 @@ void Engine::timeline_tick(util::SimTime now, double response_ms) {
 }
 
 // --------------------------------------------------------------------------
-// Drive loop
+// Drive loop & shared-kernel lifecycle
 // --------------------------------------------------------------------------
+
+void Engine::start_clock(util::SimTime t) {
+    clock_started_ = true;
+    start_ = t;
+    end_time_ = t;
+    if (shared_mode_) {
+        // Accounting was anchored at the cluster origin by begin_shared();
+        // never rewind it (this node's disk may already have served replica
+        // reads for other nodes before its own first arrival).
+        if (t > last_account_) last_account_ = t;
+    } else {
+        last_account_ = t;
+        if (config_.timeline_window_s > 0.0)
+            timeline_next_ = t + util::SimTime::from_seconds(config_.timeline_window_s);
+    }
+}
+
+void Engine::arm_halt() {
+    // Node death (cluster failover): an active batch is allowed to complete,
+    // but nothing further is admitted or dispatched.
+    if (config_.halt_at.micros != INT64_MAX)
+        events_.schedule(config_.halt_at, kPriHalt, node_id_, [this] {
+            halted_ = true;
+            maybe_halt_drained();
+        });
+}
+
+void Engine::maybe_halt_drained() {
+    if (!halted_ || batch_ != nullptr || halt_drain_fired_) return;
+    halt_drain_fired_ = true;
+    // A node that finished everything before dying keeps its completion-time
+    // makespan; only an interrupted node ends at the drain instant.
+    if (clock_started_ && completed_ < expected_) end_time_ = events_.now();
+    if (halt_drained_) halt_drained_();
+}
+
+bool Engine::try_unstick() {
+    if (!scheduler_->unstick(events_.now())) return false;
+    ensure_dispatch();
+    return true;
+}
+
+void Engine::begin_shared(util::SimTime origin) {
+    if (ran_)
+        throw std::logic_error("Engine::begin_shared: engine instances are single-shot");
+    if (owned_events_ != nullptr)
+        throw std::logic_error("Engine::begin_shared: engine owns its event queue");
+    ran_ = true;
+    shared_mode_ = true;
+    last_account_ = origin;
+    // Timeline windows are pinned to the cluster origin (not this node's
+    // first arrival) so every node's windows align for cluster-level merging.
+    if (config_.timeline_window_s > 0.0)
+        timeline_next_ = origin + util::SimTime::from_seconds(config_.timeline_window_s);
+    arm_halt();
+}
+
+void Engine::inject_job(const workload::Job& job) {
+    require_kernel_fit(job);
+    if (!clock_started_) start_clock(events_.now());
+    ++jobs_seen_;
+    expected_ += job.queries.size();
+    due_jobs_.push_back(&job);
+    if (!halted_ && batch_ == nullptr) ensure_dispatch();
+}
 
 RunReport Engine::run(const workload::Workload& workload) {
     if (ran_) throw std::logic_error("Engine::run: engine instances are single-shot");
     ran_ = true;
 
-    const std::size_t total = workload.total_queries();
-    outcomes_.reserve(total);
+    for (const workload::Job& job : workload.jobs) require_kernel_fit(job);
+    expected_ = workload.total_queries();
+    jobs_seen_ = workload.jobs.size();
+    outcomes_.reserve(expected_);
     const util::SimTime start =
         workload.jobs.empty() ? util::SimTime::zero() : workload.jobs.front().arrival;
     events_.reset_to(start);
-    last_account_ = start;
-    if (config_.timeline_window_s > 0.0)
-        timeline_next_ = start + util::SimTime::from_seconds(config_.timeline_window_s);
+    start_clock(start);
 
     for (const workload::Job& job : workload.jobs)
-        events_.schedule(job.arrival, kPriArrival, [this, &job] {
+        events_.schedule(job.arrival, kPriArrival, node_id_, [this, &job] {
             due_jobs_.push_back(&job);
             if (!halted_ && batch_ == nullptr) ensure_dispatch();
         });
-    // Node death (cluster failover): an active batch is allowed to complete,
-    // but nothing further is admitted or dispatched, and the drive loop stops
-    // at the halt instant when the node is between batches.
-    if (config_.halt_at.micros != INT64_MAX)
-        events_.schedule(config_.halt_at, kPriHalt, [this] { halted_ = true; });
+    arm_halt();
 
-    while (completed_ < total) {
+    while (completed_ < expected_) {
         if (halted_ && batch_ == nullptr) break;
         if (events_.run_one()) continue;
         // Queue drained with queries incomplete: only gated queries remain.
-        if (scheduler_->unstick(events_.now())) {
-            ensure_dispatch();
-            continue;
-        }
-        JAWS_LOG_ERROR("engine", "stalled with %zu/%zu queries complete", completed_, total);
+        if (try_unstick()) continue;
+        JAWS_LOG_ERROR("engine", "stalled with %zu/%zu queries complete", completed_,
+                       expected_);
         throw std::runtime_error("Engine::run: scheduler stalled");
     }
-    account_tick();  // settle integrals up to the final instant
+    end_time_ = events_.now();
+    return finish();
+}
+
+RunReport Engine::finish() {
+    if (!clock_started_) return RunReport{};
+    account_to(end_time_);  // settle integrals up to this node's final instant
 
     RunReport report;
     report.scheduler_name = scheduler_->name();
     report.cache_policy = cache_->policy_name();
     report.queries = completed_;
-    report.jobs = workload.jobs.size();
-    report.makespan = events_.now() - start;
+    report.jobs = jobs_seen_;
+    report.makespan = end_time_ - start_;
     const double seconds = std::max(1e-9, report.makespan.seconds());
+    // On a shared kernel this node's disk may keep serving other nodes'
+    // replica reads after its own last completion; utilisation and idle are
+    // measured over the span accounting actually covered (identical to the
+    // makespan on a private queue).
+    const double span_seconds =
+        std::max(seconds, (last_account_ - start_).seconds());
     report.throughput_qps = static_cast<double>(completed_) / seconds;
     report.seconds_per_query =
         completed_ ? seconds / static_cast<double>(completed_) : 0.0;
     report.idle_time = idle_time_;
-    const double busy_seconds = std::max(1e-9, seconds - idle_time_.seconds());
+    const double busy_seconds = std::max(1e-9, span_seconds - idle_time_.seconds());
     report.busy_throughput_qps = static_cast<double>(completed_) / busy_seconds;
     fill_response_stats(outcomes_, report);
     report.mean_job_span_ms = jobs_done_ ? job_span_ms_sum_ / static_cast<double>(jobs_done_)
@@ -899,13 +1029,14 @@ RunReport Engine::run(const workload::Workload& workload) {
     report.eval_wall_ns = eval_wall_ns_.load(std::memory_order_relaxed);
     report.disk_utilization =
         disk_res_.busy_channel_time().seconds() /
-        (seconds * static_cast<double>(config_.io_depth));
+        (span_seconds * static_cast<double>(config_.io_depth));
     report.cpu_utilization =
         cpu_res_.busy_channel_time().seconds() /
-        (seconds * static_cast<double>(config_.compute_workers));
-    report.overlap_fraction = overlap_time_.seconds() / seconds;
+        (span_seconds * static_cast<double>(config_.compute_workers));
+    report.overlap_fraction = overlap_time_.seconds() / span_seconds;
     report.atoms_processed = atoms_processed_;
     report.atom_reads = atom_reads_;
+    report.replica_reads = replica_reads_;
     report.support_reads = support_reads_;
     report.subqueries = subqueries_done_;
     report.positions = positions_done_;
@@ -925,7 +1056,7 @@ RunReport Engine::run(const workload::Workload& workload) {
     report.retries_suppressed = retries_suppressed_;
     // Halted means the run stopped short; a final batch that happened to
     // cross halt_at while finishing the workload is a completed run.
-    report.halted = halted_ && completed_ < total;
+    report.halted = halted_ && completed_ < expected_;
     report.final_alpha = scheduler_->current_alpha();
     if (const sched::GatingStats* gs = scheduler_->gating_stats()) report.gating = *gs;
     if (const sched::QosStats* qs = scheduler_->qos_stats()) report.qos = *qs;
@@ -938,8 +1069,7 @@ RunReport Engine::run(const workload::Workload& workload) {
             util::SimTime::from_seconds(config_.timeline_window_s);
         const util::SimTime last_boundary = timeline_next_ - window;
         if (window_completions_ > 0)
-            flush_timeline_window(events_.now(),
-                                  (events_.now() - last_boundary).seconds());
+            flush_timeline_window(end_time_, (end_time_ - last_boundary).seconds());
         report.timeline = std::move(timeline_);
     }
     return report;

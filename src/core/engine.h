@@ -32,6 +32,15 @@
 // user's think time has elapsed, exactly the dynamics of a live
 // particle-tracking experiment.
 //
+// Shared-kernel mode (the unified cluster): an engine can alternatively be
+// constructed over an *external* EventQueue with a node id. All of its
+// events and resource completions are then tagged with that id (the queue's
+// cross-node tie-break), jobs are injected by the cluster kernel at arrival
+// events instead of being scheduled up front, and demand/hedge reads may be
+// routed to another node's store and disk through a storage::ReplicaRouter.
+// The begin_shared()/inject_job()/finish() lifecycle replaces run(); with no
+// router and a private queue the two modes are bit-identical.
+//
 // An Engine instance executes one workload once; construct a fresh engine
 // per experimental configuration (they are cheap — the dataset is lazy).
 #pragma once
@@ -49,6 +58,7 @@
 #include "sched/scheduler.h"
 #include "storage/atom_store.h"
 #include "storage/database_node.h"
+#include "storage/replica_router.h"
 #include "util/event_queue.h"
 #include "util/sim_time.h"
 #include "util/stats.h"
@@ -60,12 +70,81 @@ namespace jaws::core {
 /// Single-node engine.
 class Engine {
   public:
+    /// Same-instant event ordering (EventQueue priority classes): a node
+    /// death fires before anything else at its instant; resource completions
+    /// and retries come before new arrivals; arrivals before visibility
+    /// wake-ups; and the (deduplicated) dispatch pass runs last, once the
+    /// instant's admissions have all been buffered. Public because the
+    /// unified cluster kernel schedules its routing and death events in the
+    /// same classes.
+    static constexpr int kPriHalt = 0;
+    static constexpr int kPriService = 1;
+    static constexpr int kPriArrival = 2;
+    static constexpr int kPriVisibility = 3;
+    static constexpr int kPriDispatch = 4;
+
     explicit Engine(const EngineConfig& config);
+
+    /// Shared-kernel construction: the engine schedules everything on
+    /// `events` (which it does not own) tagged with source `node_id`, and
+    /// runs through the begin_shared()/inject_job()/finish() lifecycle
+    /// driven by the cluster kernel instead of run().
+    Engine(const EngineConfig& config, util::EventQueue& events,
+           std::uint32_t node_id);
 
     /// Execute `workload` to completion and report. The workload must have
     /// jobs sorted by arrival time (the generator guarantees it). May be
     /// called once per engine.
     RunReport run(const workload::Workload& workload);
+
+    // --- shared-kernel lifecycle (unified cluster) -----------------------
+    /// Arm this node on the shared queue: schedules the halt (node-death)
+    /// event from EngineConfig::halt_at and pins the timeline-window origin
+    /// to `origin` so every node's windows align for cluster merging. The
+    /// node's own clock (makespan origin) starts at its first injected job,
+    /// exactly like a standalone run over its partition.
+    void begin_shared(util::SimTime origin);
+    /// Deliver a job arriving at the current virtual instant. `job` must
+    /// outlive the run. Grows the expected-query count; admission and
+    /// dispatch follow the same event sequence as a scheduled arrival.
+    void inject_job(const workload::Job& job);
+    /// Settle accounting and build this node's report. Call once, after the
+    /// shared queue has drained. A node that never received a job reports
+    /// an empty (default) RunReport.
+    RunReport finish();
+
+    /// Whether every query injected so far has completed.
+    bool done() const noexcept { return completed_ >= expected_; }
+    /// Whether the clock started (a first job was injected / run() began).
+    bool started() const noexcept { return clock_started_; }
+    /// Whether the node-death halt fired.
+    bool halted() const noexcept { return halted_; }
+    /// Whether the node is quiescent between batches with queries pending —
+    /// the only state where a drained event queue implies a scheduler gate
+    /// (vs. waiting on another node's resource completions).
+    bool idle_stuck() const noexcept {
+        return clock_started_ && !halted_ && completed_ < expected_ && batch_ == nullptr;
+    }
+    /// Ask the scheduler to force-release gated queries and redispatch.
+    /// Returns whether anything was released.
+    bool try_unstick();
+    /// Callback fired once when the node halts with no batch in flight (its
+    /// in-flight batch at the death instant is allowed to complete first) —
+    /// the cluster kernel's failover hook.
+    void set_halt_drained(std::function<void()> fn) { halt_drained_ = std::move(fn); }
+    /// Cross-node read routing; null (the default) serves every read locally.
+    void set_replica_router(storage::ReplicaRouter* router) { router_ = router; }
+
+    std::size_t completed() const noexcept { return completed_; }
+    std::size_t expected() const noexcept { return expected_; }
+    std::uint32_t node_id() const noexcept { return node_id_; }
+    /// Modeled disk-queue depth (in-service + waiting), the router's
+    /// shallowest-replica metric.
+    std::size_t disk_load() const noexcept {
+        return disk_res_.busy_channels() + disk_res_.queued();
+    }
+    /// The modeled disk this node's reads contend on (replica read target).
+    util::SimResource& disk_resource() noexcept { return disk_res_; }
 
     /// Per-query completion records of the finished run (for distribution
     /// plots and tests). Valid after run().
@@ -77,16 +156,8 @@ class Engine {
     sched::Scheduler& scheduler() noexcept { return *scheduler_; }
 
   private:
-    /// Same-instant event ordering (EventQueue priority classes): a node
-    /// death fires before anything else at its instant; resource completions
-    /// and retries come before new arrivals; arrivals before visibility
-    /// wake-ups; and the (deduplicated) dispatch pass runs last, once the
-    /// instant's admissions have all been buffered.
-    static constexpr int kPriHalt = 0;
-    static constexpr int kPriService = 1;
-    static constexpr int kPriArrival = 2;
-    static constexpr int kPriVisibility = 3;
-    static constexpr int kPriDispatch = 4;
+    Engine(const EngineConfig& config, util::EventQueue* shared_events,
+           std::uint32_t node_id);
 
     /// Oracle that forwards to the scheduler's workload manager once both
     /// exist (breaks the cache <-> scheduler construction cycle).
@@ -134,6 +205,8 @@ class Engine {
         std::size_t attempt = 1;       ///< Demand-read attempts so far.
         double backoff_ms = 0.0;       ///< Next retry delay (pre-cap).
         storage::ReadResult read;      ///< Stashed by the disk job's on_start.
+        storage::ReadRoute read_route;   ///< Where the primary read is served.
+        storage::ReadRoute hedge_route;  ///< Where the hedge read is served.
         std::shared_ptr<const field::VoxelBlock> payload;
         std::size_t next_sub = 0;      ///< Next sub-query to evaluate.
         // Hedging state (all zero/idle unless HedgeSpec::enabled). The demand
@@ -168,6 +241,12 @@ class Engine {
     std::unique_ptr<sched::Scheduler> make_scheduler();
 
     // --- admission (arrivals and visibility) ----------------------------
+    /// With materialised data the interpolation kernel must fit inside an
+    /// atom's ghost region (the descriptor-only path models spill as support
+    /// reads; the real data path cannot). Throws std::invalid_argument
+    /// naming grid.ghost and the offending order instead of reading out of
+    /// bounds. No-op when materialize_data is off.
+    void require_kernel_fit(const workload::Job& job) const;
     void submit_job(const workload::Job& job);
     void make_visible(workload::QueryId id);
     /// Record a future visibility event and schedule a kernel wake-up for it
@@ -212,8 +291,14 @@ class Engine {
     /// hedge read) because the demand phase ended without the hedge winning.
     void cancel_hedge_machinery(std::size_t idx);
     /// Refund the unrendered tail of a cancelled read, split between the
-    /// disk's service-time and fault-delay ledgers so the two stay disjoint.
-    void refund_read_tail(const storage::ReadResult& read, util::SimTime remaining);
+    /// serving disk's service-time and fault-delay ledgers so the two stay
+    /// disjoint. The route names the disk model that rendered the read.
+    void refund_read_tail(const storage::ReadRoute& route,
+                          const storage::ReadResult& read, util::SimTime remaining);
+    /// The local (serve-everything-here) route used when no router is set.
+    storage::ReadRoute self_route() noexcept {
+        return storage::ReadRoute{&store_, &disk_res_, node_id_};
+    }
     /// Abandon sub-queries of item `idx` whose queries are past the deadline
     /// budget (they complete degraded with what they have). Returns whether
     /// any sub-queries remain worth retrying for.
@@ -242,13 +327,29 @@ class Engine {
     /// waiting; a later demand read preempts it mid-service).
     void try_issue_prefetch();
 
-    /// Integrate resource-busy/overlap/idle time up to the current instant.
-    /// Called (via SimResource observers) immediately before every
-    /// busy-channel-count change and around batch transitions.
+    /// Integrate resource-busy/overlap/idle time up to `now`. Called (via
+    /// SimResource observers) immediately before every busy-channel-count
+    /// change and around batch transitions.
+    void account_to(util::SimTime now);
     void account_tick();
 
+    /// Start the node's clock at `t` (makespan origin, accounting origin and
+    /// — unless begin_shared pinned it globally — the timeline origin).
+    void start_clock(util::SimTime t);
+    /// Arm the node-death halt event from EngineConfig::halt_at.
+    void arm_halt();
+    /// Fire the halt-drained hook once the halt took effect with no batch in
+    /// flight (checked at the halt event and again at end_batch()).
+    void maybe_halt_drained();
+
     EngineConfig config_;
-    util::EventQueue events_;
+    /// The engine's private queue in standalone mode; null in shared-kernel
+    /// mode. Declared before every member that schedules on events_ so it is
+    /// destroyed last.
+    std::unique_ptr<util::EventQueue> owned_events_;
+    util::EventQueue& events_;
+    std::uint32_t node_id_ = 0;
+    storage::ReplicaRouter* router_ = nullptr;
     storage::AtomStore store_;
     storage::DatabaseNode db_;
     util::SimResource disk_res_;
@@ -293,7 +394,9 @@ class Engine {
     util::SimTime tl_overlap_time_;
 
     std::size_t completed_ = 0;
+    std::size_t expected_ = 0;  ///< Queries scheduled or injected so far.
     std::uint64_t atoms_processed_ = 0;
+    std::uint64_t replica_reads_ = 0;  ///< Reads routed to another node.
     std::uint64_t atom_reads_ = 0;
     std::uint64_t read_retries_ = 0;
     std::uint64_t read_failures_ = 0;
@@ -325,6 +428,7 @@ class Engine {
     double job_span_ms_sum_ = 0.0;
     std::vector<double> job_spans_;
     std::size_t jobs_done_ = 0;
+    std::size_t jobs_seen_ = 0;  ///< Jobs scheduled or injected so far.
 
     // Continuous resource accounting (integrated by account_tick).
     util::SimTime last_account_;
@@ -333,6 +437,14 @@ class Engine {
     util::SimTime overlap_time_;       ///< Both simultaneously busy.
     util::SimTime idle_time_;          ///< Both idle and no batch active.
     bool ran_ = false;
+
+    // Shared-kernel lifecycle state.
+    bool shared_mode_ = false;
+    bool clock_started_ = false;
+    util::SimTime start_;      ///< Makespan origin (first arrival).
+    util::SimTime end_time_;   ///< Last completion / halt-drain instant.
+    std::function<void()> halt_drained_;
+    bool halt_drain_fired_ = false;
 
     /// Engine-owned evaluation pool (EvalSpec::parallel with no external
     /// pool). Deliberately the last member: its destructor drains pending

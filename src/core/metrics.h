@@ -149,6 +149,7 @@ struct RunReport {
 
     std::uint64_t atoms_processed = 0;  ///< Batch items executed.
     std::uint64_t atom_reads = 0;       ///< Cache misses (disk reads).
+    std::uint64_t replica_reads = 0;    ///< Reads served by another node's replica.
     std::uint64_t support_reads = 0;    ///< Disk reads for kernel-support atoms.
     std::uint64_t subqueries = 0;
     std::uint64_t positions = 0;

@@ -21,17 +21,31 @@ void EventQueue::reset_to(SimTime t) {
     now_ = t;
 }
 
-EventQueue::EventId EventQueue::schedule(SimTime at, int priority, Handler fn) {
+EventQueue::EventId EventQueue::schedule(SimTime at, int priority,
+                                         std::uint32_t source, Handler fn) {
     const EventId id = next_id_++;
     if (at < now_) at = now_;  // the past is immutable; fire as soon as possible
-    heap_.push_back(Entry{at, priority, id});
+    heap_.push_back(Entry{at, priority, source, id});
     std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>{});
-    handlers_.emplace(id, std::move(fn));
+    handlers_.emplace(id, Record{std::move(fn), source});
+    if (source >= pending_by_source_.size()) pending_by_source_.resize(source + 1, 0);
+    ++pending_by_source_[source];
     JAWS_AUDIT((++audit_tick_ & 63) == 0 && audit());
     return id;
 }
 
-bool EventQueue::cancel(EventId id) { return handlers_.erase(id) > 0; }
+void EventQueue::note_source_gone(std::uint32_t source) {
+    assert(source < pending_by_source_.size() && pending_by_source_[source] > 0);
+    --pending_by_source_[source];
+}
+
+bool EventQueue::cancel(EventId id) {
+    auto it = handlers_.find(id);
+    if (it == handlers_.end()) return false;
+    note_source_gone(it->second.source);
+    handlers_.erase(it);
+    return true;
+}
 
 void EventQueue::drop_cancelled() {
     while (!heap_.empty() && handlers_.find(heap_.front().seq) == handlers_.end()) {
@@ -54,8 +68,10 @@ bool EventQueue::run_one() {
     heap_.pop_back();
     auto it = handlers_.find(top.seq);
     assert(it != handlers_.end());
-    Handler fn = std::move(it->second);
+    Handler fn = std::move(it->second.fn);
+    note_source_gone(it->second.source);
     handlers_.erase(it);
+    last_source_ = top.source;
     now_ = top.at;  // monotone: entries are never scheduled before now_
     JAWS_AUDIT((++audit_tick_ & 63) == 0 && audit());
     fn();
@@ -79,15 +95,22 @@ bool EventQueue::audit() const {
               "EventQueue: duplicate event id in heap");
         check(e.seq < next_id_, "entry.seq < next_id_",
               "EventQueue: entry id ahead of the id counter");
-        if (handlers_.find(e.seq) == handlers_.end()) continue;  // tombstone
+        const auto rec = handlers_.find(e.seq);
+        if (rec == handlers_.end()) continue;  // tombstone
         ++live;
         check(e.at >= now_, "entry.at >= now()",
               "EventQueue: pending event scheduled behind the clock");
+        check(rec->second.source == e.source, "entry.source == record.source",
+              "EventQueue: heap entry and handler disagree on source");
     }
     // Every live handler id must have exactly one heap entry, or it can
     // never fire (ids are unique, so equality of counts proves the map).
     check(live == handlers_.size(), "live heap entries == handlers",
           "EventQueue: dangling handler with no heap entry");
+    std::size_t by_source = 0;
+    for (const std::size_t n : pending_by_source_) by_source += n;
+    check(by_source == handlers_.size(), "sum(pending_by_source) == handlers",
+          "EventQueue: per-source pending counts out of sync");
     return ok;
 }
 
@@ -96,8 +119,8 @@ bool EventQueue::audit() const {
 // --------------------------------------------------------------------------
 
 SimResource::SimResource(EventQueue& events, std::size_t channels,
-                         int completion_priority)
-    : events_(events), completion_priority_(completion_priority) {
+                         int completion_priority, std::uint32_t source)
+    : events_(events), completion_priority_(completion_priority), source_(source) {
     if (channels == 0)
         throw std::invalid_argument("SimResource: at least one channel required");
     channels_.resize(channels);
@@ -154,7 +177,7 @@ SimResource::JobId SimResource::submit(Job job) {
             ch.duration = ch.job.on_start ? ch.job.on_start(c) : SimTime::zero();
             const std::size_t chan = c;
             ch.completion = events_.schedule(ch.started + ch.duration,
-                                             completion_priority_,
+                                             completion_priority_, source_,
                                              [this, chan] { finish(chan); });
             JAWS_AUDIT(audit());
             return id;
@@ -207,7 +230,7 @@ void SimResource::start_on(std::size_t channel, JobId id, Job&& job) {
     ch.job = std::move(job);
     ch.duration = ch.job.on_start ? ch.job.on_start(channel) : SimTime::zero();
     ch.completion = events_.schedule(ch.started + ch.duration, completion_priority_,
-                                     [this, channel] { finish(channel); });
+                                     source_, [this, channel] { finish(channel); });
 }
 
 void SimResource::backfill(std::size_t channel) {

@@ -1,8 +1,12 @@
 // Tests for the multi-node cluster facade (core/cluster.h).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "core/cluster.h"
 #include "core/engine.h"
+#include "storage/replica_router.h"
 #include "workload/generator.h"
 
 namespace jaws::core {
@@ -46,6 +50,96 @@ TEST(ClusterNodeOf, CoversAllNodesContiguously) {
 
 TEST(ClusterNodeOf, SingleNodeTakesAll) {
     EXPECT_EQ(TurbulenceCluster::node_of(123, 4096, 1), 0u);
+}
+
+TEST(ClusterNodeOf, RangeBoundariesWithIndivisibleAtomCount) {
+    // 10 atoms over 4 nodes: ceil(10/4) = 3 per range, so the ranges are
+    // [0,3) [3,6) [6,9) [9,10) — the last node's range is short, never empty.
+    const std::uint64_t aps = 10;
+    const std::size_t nodes = 4;
+    const std::uint64_t per_node = (aps + nodes - 1) / nodes;
+    ASSERT_EQ(per_node, 3u);
+    for (std::size_t n = 0; n < nodes; ++n) {
+        const std::uint64_t first = n * per_node;
+        const std::uint64_t last = std::min<std::uint64_t>((n + 1) * per_node, aps) - 1;
+        // First and last atom of each range land on that node.
+        EXPECT_EQ(TurbulenceCluster::node_of(first, aps, nodes), n);
+        EXPECT_EQ(TurbulenceCluster::node_of(last, aps, nodes), n);
+        // One before the range belongs to the previous node.
+        if (n > 0)
+            EXPECT_EQ(TurbulenceCluster::node_of(first - 1, aps, nodes), n - 1);
+    }
+    // Morton codes past atoms_per_step clamp to the last node rather than
+    // running off the end of the node array.
+    EXPECT_EQ(TurbulenceCluster::node_of(aps, aps, nodes), nodes - 1);
+    EXPECT_EQ(TurbulenceCluster::node_of(aps + 100, aps, nodes), nodes - 1);
+}
+
+TEST(ClusterNodeOf, MoreNodesThanAtomsLeavesTrailingNodesEmpty) {
+    // 2 atoms over 4 nodes: per_node = 1, atoms 0 and 1 land on nodes 0 and
+    // 1; nodes 2 and 3 own no atom (and node_of never returns them).
+    const std::uint64_t aps = 2;
+    EXPECT_EQ(TurbulenceCluster::node_of(0, aps, 4), 0u);
+    EXPECT_EQ(TurbulenceCluster::node_of(1, aps, 4), 1u);
+    for (std::uint64_t m = 0; m < aps; ++m)
+        EXPECT_LT(TurbulenceCluster::node_of(m, aps, 4), 2u);
+}
+
+TEST(ReplicaChain, FollowsChainedDeclusteringOrder) {
+    const auto chain = storage::replica_chain(1, 3, 5);
+    EXPECT_EQ(chain, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(ReplicaChain, WrapsAroundTheLastNode) {
+    // The ranges owned by the tail nodes replicate onto the head of the ring.
+    EXPECT_EQ(storage::replica_chain(3, 3, 4), (std::vector<std::size_t>{3, 0, 1}));
+    EXPECT_EQ(storage::replica_chain(4, 2, 5), (std::vector<std::size_t>{4, 0}));
+}
+
+TEST(ReplicaChain, ClampsReplicationToClusterSize) {
+    // replication > nodes cannot place two copies on one node: the chain
+    // covers each node exactly once.
+    EXPECT_EQ(storage::replica_chain(2, 9, 3), (std::vector<std::size_t>{2, 0, 1}));
+    EXPECT_TRUE(storage::replica_chain(0, 2, 0).empty());
+}
+
+TEST(ClusterValidate, RejectsDuplicateNodeDownEvents) {
+    ClusterConfig c = small_cluster(2);
+    c.node.faults.node_down.push_back(
+        storage::NodeDownEvent{1, util::SimTime::from_seconds(5.0)});
+    c.node.faults.node_down.push_back(
+        storage::NodeDownEvent{1, util::SimTime::from_seconds(9.0)});
+    try {
+        c.validate();
+        FAIL() << "duplicate node_down events must be rejected";
+    } catch (const std::invalid_argument& e) {
+        // The message names the offending field and node.
+        EXPECT_NE(std::string(e.what()).find("node.faults.node_down"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("node 1"), std::string::npos);
+    }
+}
+
+TEST(ClusterValidate, RejectsNodeDownAtTickZero) {
+    ClusterConfig c = small_cluster(2);
+    c.node.faults.node_down.push_back(storage::NodeDownEvent{0, util::SimTime::zero()});
+    try {
+        c.validate();
+        FAIL() << "a node-down at tick 0 must be rejected";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("node.faults.node_down"),
+                  std::string::npos);
+    }
+}
+
+TEST(ClusterValidate, AcceptsDistinctDeathsOnDistinctNodes) {
+    ClusterConfig c = small_cluster(3);
+    c.replication = 2;
+    c.node.faults.node_down.push_back(
+        storage::NodeDownEvent{0, util::SimTime::from_seconds(5.0)});
+    c.node.faults.node_down.push_back(
+        storage::NodeDownEvent{2, util::SimTime::from_seconds(7.0)});
+    EXPECT_NO_THROW(c.validate());
 }
 
 TEST(ClusterPartition, PreservesEveryAtomRequest) {

@@ -39,6 +39,80 @@ TEST(EventQueue, EqualTimestampsFireInPriorityThenInsertionOrder) {
                                                "p2-second"}));
 }
 
+TEST(EventQueue, SameTickEventsTieBreakBySourceThenInsertion) {
+    // The unified cluster kernel's determinism rule: at one (time, priority)
+    // instant, events fire in (source, insertion) order regardless of the
+    // order the sources interleaved their schedule() calls — node 0's events
+    // before node 1's, and within a node strictly FIFO.
+    EventQueue q;
+    std::vector<std::string> order;
+    q.schedule(us(5), 1, 2, [&] { order.push_back("n2-a"); });
+    q.schedule(us(5), 1, 0, [&] { order.push_back("n0-a"); });
+    q.schedule(us(5), 1, 1, [&] { order.push_back("n1-a"); });
+    q.schedule(us(5), 1, 0, [&] { order.push_back("n0-b"); });
+    q.schedule(us(5), 1, 2, [&] { order.push_back("n2-b"); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<std::string>{"n0-a", "n0-b", "n1-a", "n2-a",
+                                               "n2-b"}));
+}
+
+TEST(EventQueue, PriorityStillDominatesSourceAtOneInstant) {
+    // A higher-priority event of a later source fires before a lower-priority
+    // event of an earlier source: the cross-node tie-break only refines
+    // ordering *within* a priority class (a node death at kPriHalt must beat
+    // every node's arrivals no matter whose it is).
+    EventQueue q;
+    std::vector<std::string> order;
+    q.schedule(us(5), 2, 0, [&] { order.push_back("n0-p2"); });
+    q.schedule(us(5), 1, 3, [&] { order.push_back("n3-p1"); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<std::string>{"n3-p1", "n0-p2"}));
+}
+
+TEST(EventQueue, PendingForTracksPerSourceCounts) {
+    EventQueue q;
+    const EventQueue::EventId a = q.schedule(us(10), 0, 1, [] {});
+    q.schedule(us(20), 0, 1, [] {});
+    q.schedule(us(30), 0, 2, [] {});
+    EXPECT_EQ(q.pending_for(0), 0u);
+    EXPECT_EQ(q.pending_for(1), 2u);
+    EXPECT_EQ(q.pending_for(2), 1u);
+    EXPECT_EQ(q.pending_for(7), 0u);  // never-seen source
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_EQ(q.pending_for(1), 1u);
+    ASSERT_TRUE(q.run_one());  // fires the remaining source-1 event
+    EXPECT_EQ(q.pending_for(1), 0u);
+    EXPECT_EQ(q.pending_for(2), 1u);
+    EXPECT_TRUE(q.audit());
+}
+
+TEST(EventQueue, LastSourceReportsTheFiredEventsSource) {
+    EventQueue q;
+    q.schedule(us(10), 0, 4, [] {});
+    q.schedule(us(20), 0, 9, [] {});
+    ASSERT_TRUE(q.run_one());
+    EXPECT_EQ(q.last_source(), 4u);
+    ASSERT_TRUE(q.run_one());
+    EXPECT_EQ(q.last_source(), 9u);
+}
+
+TEST(EventQueue, SourcelessScheduleDefaultsToSourceZero) {
+    // The two-argument overload used by standalone engines tags source 0, so
+    // a single-source queue degenerates to the historical (time, priority,
+    // insertion) order — the bit-equivalence bridge to the pre-kernel runs.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(us(5), 0, [&] { order.push_back(1); });
+    q.schedule(us(5), 0, 0, [&] { order.push_back(2); });
+    q.schedule(us(5), 0, [&] { order.push_back(3); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.pending_for(0), 0u);
+}
+
 TEST(EventQueue, FifoTieBreakIsStableAcrossManyEvents) {
     // Same instant, same priority: strictly insertion order, regardless of
     // how the underlying heap happens to rebalance.

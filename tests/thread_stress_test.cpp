@@ -121,6 +121,10 @@ TEST(ThreadStress, ConcurrentLoggingThroughGuardedSink) {
 
 core::ClusterConfig stress_cluster_config() {
     core::ClusterConfig config;
+    // Pinned to the legacy per-node path: this test exists to race N node
+    // engines on a thread pool (nested parallelism); the unified kernel is
+    // single-threaded per run and is covered by cluster_equivalence_test.
+    config.mode = core::ClusterMode::kLegacy;
     config.nodes = 4;
     config.replication = 2;
     config.node.grid.voxels_per_side = 128;
