@@ -1,0 +1,101 @@
+// Deterministic byte-stream decoder shared by the fuzz harnesses.
+//
+// A libFuzzer input is an arbitrary byte string; each harness decodes it
+// into a *program* of operations against the system under test. The decoder
+// is total — any byte string decodes to some valid program (draining to
+// zeros past the end) — so the fuzzer never wastes executions on "parse
+// errors" in the harness itself, and every corpus file replays identically
+// in non-fuzzer builds (fuzz/replay_main.cpp).
+//
+// Harness checks use JAWS_FUZZ_REQUIRE, not assert(): the default build is
+// RelWithDebInfo (-DNDEBUG), and a fuzz oracle that compiles away finds
+// nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#define JAWS_FUZZ_REQUIRE(cond, msg)                                          \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::fprintf(stderr, "FUZZ REQUIRE FAILED %s:%d: %s -- %s\n",     \
+                         __FILE__, __LINE__, #cond, (msg));                   \
+            std::abort();                                                     \
+        }                                                                     \
+    } while (0)
+
+namespace jaws::fuzz {
+
+/// Little-endian cursor over the fuzzer's byte string. Reads past the end
+/// yield zero bytes, so short inputs still decode to complete programs.
+class FuzzInput {
+  public:
+    FuzzInput(const std::uint8_t* data, std::size_t size) noexcept
+        : data_(data), size_(size) {}
+
+    bool exhausted() const noexcept { return pos_ >= size_; }
+    std::size_t remaining() const noexcept { return pos_ < size_ ? size_ - pos_ : 0; }
+
+    std::uint8_t u8() noexcept { return next(); }
+
+    std::uint16_t u16() noexcept {
+        return static_cast<std::uint16_t>(next() | (next() << 8));
+    }
+
+    std::uint32_t u32() noexcept {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(next()) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t u64() noexcept {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(next()) << (8 * i);
+        return v;
+    }
+
+    bool boolean() noexcept { return (next() & 1) != 0; }
+
+    /// Uniform-ish value in [0, n). Modulo bias is irrelevant for fuzzing.
+    std::uint64_t below(std::uint64_t n) noexcept { return n ? u64() % n : 0; }
+
+    /// Uniform-ish value in the closed range [lo, hi].
+    std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Double in [lo, hi) from 53 mantissa bits.
+    double unit_range(double lo, double hi) noexcept {
+        const double unit = static_cast<double>(u64() >> 11) * 0x1.0p-53;
+        return lo + (hi - lo) * unit;
+    }
+
+    /// A double built straight from raw bits: may be NaN, an infinity, a
+    /// denormal or a huge magnitude — the adversarial values a config
+    /// decoder must survive.
+    double raw_double() noexcept {
+        const std::uint64_t bits = u64();
+        double d;
+        std::memcpy(&d, &bits, sizeof d);
+        return d;
+    }
+
+    /// The undecoded remainder as text (trace-parser harness).
+    std::string_view rest_as_text() const noexcept {
+        return {reinterpret_cast<const char*>(data_ + pos_), remaining()};
+    }
+
+  private:
+    std::uint8_t next() noexcept { return pos_ < size_ ? data_[pos_++] : 0; }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace jaws::fuzz

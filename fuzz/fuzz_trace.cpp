@@ -1,0 +1,55 @@
+// Fuzz harness for the workload trace CSV parser.
+//
+// Feeds the raw fuzzer bytes to workload::parse_csv. The contract: any byte
+// string either parses to records or throws std::runtime_error — never UB
+// (the original sscanf-based parser had undefined behaviour on numeric
+// overflow and cast unvalidated integers straight to enums), never any
+// other exception. When the input does parse, formatting the records with
+// to_csv and reparsing must reproduce them exactly: the parser accepts
+// nothing it cannot round-trip.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz_input.h"
+#include "workload/trace.h"
+
+namespace {
+
+using jaws::workload::TraceRecord;
+
+bool same_record(const TraceRecord& a, const TraceRecord& b) {
+    return a.query == b.query && a.true_job == b.true_job &&
+           a.seq_in_job == b.seq_in_job && a.user == b.user &&
+           a.job_type == b.job_type && a.timestep == b.timestep &&
+           a.kind == b.kind && a.positions == b.positions && a.atoms == b.atoms &&
+           a.submit == b.submit;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+    std::vector<TraceRecord> records;
+    try {
+        records = jaws::workload::parse_csv(text);
+    } catch (const std::runtime_error&) {
+        return 0;  // rejecting malformed input is the other half of the contract
+    }
+
+    // Accepted input must round-trip bit-exactly through the formatter.
+    std::vector<TraceRecord> again;
+    try {
+        again = jaws::workload::parse_csv(jaws::workload::to_csv(records));
+    } catch (const std::runtime_error&) {
+        JAWS_FUZZ_REQUIRE(false, "parser rejected its own formatter's output");
+    }
+    JAWS_FUZZ_REQUIRE(again.size() == records.size(),
+                      "round-trip changed the record count");
+    for (std::size_t i = 0; i < records.size(); ++i)
+        JAWS_FUZZ_REQUIRE(same_record(records[i], again[i]),
+                          "round-trip changed a record");
+    return 0;
+}

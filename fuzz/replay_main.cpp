@@ -1,0 +1,60 @@
+// Standalone corpus replay driver.
+//
+// libFuzzer supplies its own main(); in non-fuzzer builds (any compiler,
+// no -fsanitize=fuzzer) each harness links this file instead and becomes a
+// plain executable that replays corpus files through LLVMFuzzerTestOneInput.
+// Every fuzz entry point therefore runs as an ordinary ctest on every build
+// configuration — including TSan and audit builds — keeping the corpus
+// (and the crash regressions pinned in it) green without clang.
+//
+// Usage: <harness>_replay <file-or-directory>...
+// Directories are replayed recursively in sorted order (deterministic
+// output); with no arguments it exits 0 so an empty corpus is not an error.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int replay_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "replay: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::printf("replay: %s (%zu bytes)\n", path.c_str(), bytes.size());
+    std::fflush(stdout);  // flush before a potential abort() in the harness
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<fs::path> files;
+    for (int i = 1; i < argc; ++i) {
+        const fs::path arg(argv[i]);
+        if (fs::is_directory(arg)) {
+            for (const auto& entry : fs::recursive_directory_iterator(arg))
+                if (entry.is_regular_file()) files.push_back(entry.path());
+        } else {
+            files.push_back(arg);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    int failures = 0;
+    for (const fs::path& f : files) failures += replay_file(f);
+    std::printf("replay: %zu input(s), %d unreadable\n", files.size(), failures);
+    return failures == 0 ? 0 : 1;
+}

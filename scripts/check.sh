@@ -10,12 +10,18 @@
 #                               # semantic analyzer + layering lint +
 #                               # clang-tidy over compile_commands.json
 #   scripts/check.sh --fast     # skip the sanitizer-unfriendly smoke run
+#   scripts/check.sh --fuzz[=N] # build the libFuzzer harnesses (Clang only)
+#                               # and run each over its seed corpus for N
+#                               # seconds (default 30); crash artifacts land
+#                               # in build-fuzzer/artifacts/<target>/
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=default
 smoke=1
 tidy=0
+fuzz=0
+fuzz_seconds=30
 for arg in "$@"; do
     case "$arg" in
         --asan) preset=asan-ubsan ;;
@@ -23,7 +29,10 @@ for arg in "$@"; do
         --audit) preset=audit ;;
         --tidy) tidy=1 ;;
         --fast) smoke=0 ;;
-        *) echo "usage: $0 [--asan|--tsan|--audit|--tidy] [--fast]" >&2; exit 2 ;;
+        --fuzz) fuzz=1 ;;
+        --fuzz=*) fuzz=1; fuzz_seconds="${arg#--fuzz=}" ;;
+        *) echo "usage: $0 [--asan|--tsan|--audit|--tidy|--fuzz[=N]] [--fast]" >&2
+           exit 2 ;;
     esac
 done
 
@@ -84,6 +93,41 @@ if [[ "$tidy" == 1 ]]; then
     fi
     echo "$stamp" > "$stamp_file"
     echo "== clang-tidy clean =="
+    exit 0
+fi
+
+if [[ "$fuzz" == 1 ]]; then
+    command -v clang++ >/dev/null 2>&1 || {
+        echo "check.sh --fuzz: clang++ not found on PATH" >&2
+        echo "(libFuzzer needs Clang; the replay ctests cover the corpora" >&2
+        echo " under any compiler: ctest -R FuzzReplay)" >&2
+        exit 3
+    }
+
+    echo "== configure (fuzzer) =="
+    cmake --preset fuzzer
+
+    targets=(fuzz_event_queue fuzz_disk_model fuzz_config fuzz_trace)
+
+    echo "== build (fuzzer) =="
+    cmake --build --preset fuzzer -j "$(nproc)" --target "${targets[@]}"
+
+    status=0
+    for target in "${targets[@]}"; do
+        artifacts="build-fuzzer/artifacts/$target"
+        mkdir -p "$artifacts"
+        echo "== fuzz $target (${fuzz_seconds}s) =="
+        if ! "build-fuzzer/fuzz/$target" \
+                -max_total_time="$fuzz_seconds" \
+                -artifact_prefix="$artifacts/" \
+                -print_final_stats=1 \
+                "fuzz/corpus/$target"; then
+            echo "check.sh --fuzz: $target found a crash; artifacts in $artifacts" >&2
+            status=1
+        fi
+    done
+    [[ "$status" == 0 ]] || exit "$status"
+    echo "== fuzz smoke passed =="
     exit 0
 fi
 

@@ -73,7 +73,7 @@ ANALYZED_DIRS = [
     os.path.join("src", d)
     for d in ("core", "sched", "storage", "cache", "field", "workload", "util")
 ]
-FLOAT_EQ_MODULES = ("core", "sched", "storage", "cache")
+FLOAT_EQ_MODULES = ("core", "sched", "storage", "cache", "field", "workload")
 CLOCK_OWNER_FILES = {os.path.join("src", "util", "sim_time.h")}
 SOURCE_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
 
@@ -824,6 +824,22 @@ OWNER_FIXTURE = ("sim_time.h", FIXTURE_PRELUDE + """
 inline void tick(VirtualClock& clock, SimTime t) { clock.advance(t); }
 """, [])
 
+# Fixtures written into other analyzed modules, pinning FLOAT_EQ_MODULES
+# coverage: float identity must be flagged in field/ and workload/ too.
+MODULE_FIXTURES = [
+    (os.path.join("src", "field"), "bad_float_eq_field.cpp",
+     FIXTURE_PRELUDE + """
+bool f(double amplitude, double phase) { return amplitude == phase; }
+""", ["float-equality"]),
+    (os.path.join("src", "workload"), "bad_float_eq_workload.cpp",
+     FIXTURE_PRELUDE + """
+int f(double think_s) {
+    if (think_s != 0.0) return 1;
+    return 0;
+}
+""", ["float-equality"]),
+]
+
 
 def self_test(engines: list[str], root_hint: str) -> int:
     failures = 0
@@ -842,6 +858,11 @@ def self_test(engines: list[str], root_hint: str) -> int:
             owner_path = os.path.join(util_dir, OWNER_FIXTURE[0])
             with open(owner_path, "w", encoding="utf-8") as f:
                 f.write(OWNER_FIXTURE[1])
+            for rel_dir, name, source, _expected in MODULE_FIXTURES:
+                os.makedirs(os.path.join(tmp, rel_dir), exist_ok=True)
+                with open(os.path.join(tmp, rel_dir, name), "w",
+                          encoding="utf-8") as f:
+                    f.write(source)
             files = tree_files(tmp)
             try:
                 found = run_engine(engine, files, tmp, None)
@@ -851,7 +872,10 @@ def self_test(engines: list[str], root_hint: str) -> int:
             by_file: dict[str, list[Violation]] = {}
             for v in found:
                 by_file.setdefault(os.path.basename(v.path), []).append(v)
-            for name, _source, expected in SELFTEST_CASES + [OWNER_FIXTURE]:
+            module_cases = [(name, source, expected)
+                            for _rel, name, source, expected in MODULE_FIXTURES]
+            for name, _source, expected in (SELFTEST_CASES + [OWNER_FIXTURE]
+                                            + module_cases):
                 got = [v.rule for v in by_file.get(name, [])]
                 if got != expected:
                     failures += 1
@@ -861,7 +885,8 @@ def self_test(engines: list[str], root_hint: str) -> int:
                         print(f"    {v}", file=sys.stderr)
             ran.append(engine)
     if failures == 0:
-        print(f"jaws_analyzer self-test: {len(SELFTEST_CASES) + 1} fixtures ok "
+        total = len(SELFTEST_CASES) + 1 + len(MODULE_FIXTURES)
+        print(f"jaws_analyzer self-test: {total} fixtures ok "
               f"(engines: {', '.join(ran)})")
         return 0
     return 1

@@ -45,7 +45,8 @@ import sys
 import tempfile
 
 LINTED_DIRS = [
-    os.path.join("src", d) for d in ("core", "sched", "storage", "cache", "field")
+    os.path.join("src", d)
+    for d in ("core", "sched", "storage", "cache", "field", "workload")
 ]
 SOURCE_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
 
@@ -426,6 +427,27 @@ long Paired::sum() const {
      ["unordered-iteration"]),
 ]
 
+# Fixtures written into *other* linted subtrees, pinning LINTED_DIRS
+# coverage itself: a regression that drops a directory from the walk makes
+# these fixtures silently pass and fails the self-test.
+DIR_COVERAGE_FIXTURES = [
+    (os.path.join("src", "workload"), "bad_workload_wall_clock.cpp",
+     """#include <ctime>
+long stamp() { return static_cast<long>(time(nullptr)); }
+""",
+     ["wall-clock"]),
+    (os.path.join("src", "workload"), "bad_workload_unordered.cpp",
+     """#include <unordered_set>
+int f() {
+    std::unordered_set<int> users;
+    int total = 0;
+    for (int u : users) total += u;
+    return total;
+}
+""",
+     ["unordered-iteration"]),
+]
+
 
 def self_test() -> int:
     failures = 0
@@ -436,11 +458,20 @@ def self_test() -> int:
         for name, source, _expected in SELFTEST_CASES:
             with open(os.path.join(fixture_dir, name), "w", encoding="utf-8") as f:
                 f.write(source)
+        for rel_dir, name, source, _expected in DIR_COVERAGE_FIXTURES:
+            os.makedirs(os.path.join(tmp, rel_dir), exist_ok=True)
+            with open(os.path.join(tmp, rel_dir, name), "w",
+                      encoding="utf-8") as f:
+                f.write(source)
         found = lint_tree(tmp)
         by_file: dict[str, list[Violation]] = {}
         for v in found:
             by_file.setdefault(os.path.basename(v.path), []).append(v)
-        for name, _source, expected in SELFTEST_CASES:
+        all_cases = SELFTEST_CASES + [
+            (name, source, expected)
+            for _rel, name, source, expected in DIR_COVERAGE_FIXTURES
+        ]
+        for name, _source, expected in all_cases:
             got = [v.rule for v in by_file.get(name, [])]
             if got != expected:
                 failures += 1
@@ -449,7 +480,8 @@ def self_test() -> int:
                 for v in by_file.get(name, []):
                     print(f"    {v}", file=sys.stderr)
     if failures == 0:
-        print(f"lint_determinism self-test: {len(SELFTEST_CASES)} fixtures ok")
+        total = len(SELFTEST_CASES) + len(DIR_COVERAGE_FIXTURES)
+        print(f"lint_determinism self-test: {total} fixtures ok")
         return 0
     return 1
 

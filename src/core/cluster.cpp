@@ -276,6 +276,7 @@ class UnifiedKernel final : public storage::ReplicaRouter {
     ClusterReport run(const workload::Workload& workload) {
         origin_ = workload.jobs.empty() ? util::SimTime::zero()
                                         : workload.jobs.front().arrival;
+        events_.set_perturbation(node_template_.tie_perturbation);
         events_.reset_to(origin_);
 
         routed_.resize(config_.nodes);

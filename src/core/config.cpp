@@ -1,5 +1,6 @@
 #include "core/config.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -17,8 +18,17 @@ void require_probability(double p, const char* name) {
 }
 
 void require_non_negative(double v, const char* name) {
-    if (!(v >= 0.0))  // also rejects NaN
-        fail(std::string(name) + " must be non-negative, got " + std::to_string(v));
+    // !(>= 0) also rejects NaN; the explicit finiteness check rejects +inf,
+    // which would otherwise flow into virtual-time conversions and saturate
+    // the clock (found by fuzz/fuzz_config.cpp).
+    if (!(v >= 0.0) || !std::isfinite(v))
+        fail(std::string(name) + " must be finite and non-negative, got " +
+             std::to_string(v));
+}
+
+void require_finite(double v, const char* name) {
+    if (!std::isfinite(v))
+        fail(std::string(name) + " must be finite, got " + std::to_string(v));
 }
 
 }  // namespace
@@ -47,8 +57,8 @@ void EngineConfig::validate() const {
 
     require_non_negative(disk.settle_ms, "disk.settle_ms");
     require_non_negative(disk.seek_full_stroke_ms, "disk.seek_full_stroke_ms");
-    if (!(disk.transfer_mb_per_s > 0.0))
-        fail("disk.transfer_mb_per_s must be positive, got " +
+    if (!(disk.transfer_mb_per_s > 0.0) || !std::isfinite(disk.transfer_mb_per_s))
+        fail("disk.transfer_mb_per_s must be finite and positive, got " +
              std::to_string(disk.transfer_mb_per_s));
     require_non_negative(compute.t_m_us, "compute.t_m_us");
     require_non_negative(estimates.t_b_ms, "estimates.t_b_ms");
@@ -84,8 +94,8 @@ void EngineConfig::validate() const {
         fail("retry.max_attempts must be at least 1 (the initial attempt)");
     require_non_negative(retry.backoff_base_ms, "retry.backoff_base_ms");
     require_non_negative(retry.backoff_cap_ms, "retry.backoff_cap_ms");
-    if (!(retry.backoff_multiplier >= 1.0))
-        fail("retry.backoff_multiplier must be >= 1, got " +
+    if (!(retry.backoff_multiplier >= 1.0) || !std::isfinite(retry.backoff_multiplier))
+        fail("retry.backoff_multiplier must be finite and >= 1, got " +
              std::to_string(retry.backoff_multiplier));
     if (retry.backoff_cap_ms < retry.backoff_base_ms)
         fail("retry.backoff_cap_ms " + std::to_string(retry.backoff_cap_ms) +
@@ -97,18 +107,23 @@ void EngineConfig::validate() const {
     require_non_negative(disk.heavy_tail.lognormal_sigma,
                          "disk.heavy_tail.lognormal_sigma");
     if (disk.heavy_tail.rate > 0.0) {
-        if (!(disk.heavy_tail.pareto_alpha > 0.0))
-            fail("disk.heavy_tail.pareto_alpha must be positive, got " +
+        require_finite(disk.heavy_tail.lognormal_mu, "disk.heavy_tail.lognormal_mu");
+        if (!(disk.heavy_tail.pareto_alpha > 0.0) ||
+            !std::isfinite(disk.heavy_tail.pareto_alpha))
+            fail("disk.heavy_tail.pareto_alpha must be finite and positive, got " +
                  std::to_string(disk.heavy_tail.pareto_alpha));
-        if (!(disk.heavy_tail.pareto_min >= 1.0))
-            fail("disk.heavy_tail.pareto_min must be >= 1 (a slowdown), got " +
+        if (!(disk.heavy_tail.pareto_min >= 1.0) ||
+            !std::isfinite(disk.heavy_tail.pareto_min))
+            fail("disk.heavy_tail.pareto_min must be finite and >= 1 (a slowdown), "
+                 "got " +
                  std::to_string(disk.heavy_tail.pareto_min));
     }
 
     require_non_negative(hedge.trigger_ms, "hedge.trigger_ms");
     if (hedge.enabled) {
-        if (!(hedge.trigger_ewma_multiplier > 0.0))
-            fail("hedge.trigger_ewma_multiplier must be positive, got " +
+        if (!(hedge.trigger_ewma_multiplier > 0.0) ||
+            !std::isfinite(hedge.trigger_ewma_multiplier))
+            fail("hedge.trigger_ewma_multiplier must be finite and positive, got " +
                  std::to_string(hedge.trigger_ewma_multiplier));
         if (!(hedge.ewma_alpha > 0.0 && hedge.ewma_alpha <= 1.0))
             fail("hedge.ewma_alpha must lie in (0, 1], got " +

@@ -18,6 +18,7 @@
 #include "sched/workload_manager.h"
 #include "storage/atom_store.h"
 #include "storage/database_node.h"
+#include "util/event_queue.h"
 
 namespace jaws::util {
 class ThreadPool;
@@ -192,6 +193,14 @@ struct EngineConfig {
     /// evaluated so far — graceful degradation instead of an unbounded
     /// backoff loop (RunReport::deadline_misses counts these).
     double deadline_budget_ms = 0.0;
+
+    /// Same-tick tie-break perturbation for the schedule-perturbation
+    /// determinism checker (tests/perturbation_test.cpp). The default is the
+    /// identity; any perturbation of the commutative priority classes must
+    /// leave every report digest bit-identical. Applied to the engine-owned
+    /// queue in standalone runs and to the cluster's shared queue in unified
+    /// runs.
+    util::TiePerturbation tie_perturbation;
 
     /// Virtual time at which this node dies mid-run (INT64_MAX = never).
     /// Set by TurbulenceCluster from FaultSpec::node_down; a halted run

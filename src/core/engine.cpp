@@ -61,6 +61,10 @@ Engine::Engine(const EngineConfig& config, util::EventQueue* shared_events,
       disk_res_(events_, config.io_depth, kPriService, node_id),
       cpu_res_(events_, config.compute_workers, kPriService, node_id),
       read_ewma_(config.hedge.ewma_alpha) {
+    // A privately owned queue takes the configured tie-break perturbation
+    // (a shared queue is perturbed once by its owner, the cluster kernel).
+    if (owned_events_ != nullptr)
+        owned_events_->set_perturbation(config_.tie_perturbation);
     config_.estimates.atoms_per_step = config_.grid.atoms_per_step();
     cache_ = std::make_unique<cache::BufferCache>(config.cache.capacity_atoms, make_policy());
     if (config_.cache.wall_clock_overhead) cache_->set_tick_source(util::wall_clock_ns);

@@ -19,11 +19,13 @@ SyntheticField::SyntheticField(const FieldSpec& spec) : spec_(spec) {
     const auto kmax = static_cast<std::int64_t>(spec.max_wavenumber);
     while (modes_.size() < spec.modes) {
         // Integer wavevector (periodicity) with |k| <= kmax, excluding k = 0.
-        const Vec3 k{static_cast<double>(rng.uniform_int(-kmax, kmax)),
-                     static_cast<double>(rng.uniform_int(-kmax, kmax)),
-                     static_cast<double>(rng.uniform_int(-kmax, kmax))};
-        if (k.norm2() == 0.0 || k.norm2() > spec.max_wavenumber * spec.max_wavenumber)
-            continue;
+        const std::int64_t kx = rng.uniform_int(-kmax, kmax);
+        const std::int64_t ky = rng.uniform_int(-kmax, kmax);
+        const std::int64_t kz = rng.uniform_int(-kmax, kmax);
+        if (kx == 0 && ky == 0 && kz == 0) continue;
+        const Vec3 k{static_cast<double>(kx), static_cast<double>(ky),
+                     static_cast<double>(kz)};
+        if (k.norm2() > spec.max_wavenumber * spec.max_wavenumber) continue;
         // Random amplitude direction; only the component orthogonal to k
         // contributes to curl, and a k^(-5/6)-ish falloff gives the velocity a
         // decaying spectrum reminiscent of Kolmogorov scaling.

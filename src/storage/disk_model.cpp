@@ -36,7 +36,14 @@ double DiskModel::slow_multiplier(std::uint64_t n) const noexcept {
                          std::cos(2.0 * std::numbers::pi * v);
         mult = std::exp(ht.lognormal_mu + ht.lognormal_sigma * z);
     }
-    return std::max(1.0, mult);
+    // Cap the slowdown: a legal spec (pareto_alpha near zero, or a huge
+    // lognormal sigma) can otherwise draw an unbounded — even infinite —
+    // multiplier whose priced service time overflows the integer virtual
+    // clock when accumulated (found by fuzz/fuzz_disk_model.cpp). A
+    // million-fold straggler is already far past anything hedging or
+    // cancellation must distinguish.
+    constexpr double kMaxSlowMultiplier = 1e6;
+    return std::clamp(mult, 1.0, kMaxSlowMultiplier);
 }
 
 util::SimTime DiskModel::peek_cost(std::uint64_t offset, std::uint64_t bytes,

@@ -100,28 +100,36 @@ class DiskModel {
                             std::size_t channel = 0) const;
 
     /// Account injected extra service time (fault-injector latency spikes).
-    /// Kept disjoint from service_time — see DiskStats.
-    void charge_delay(util::SimTime extra) noexcept { stats_.fault_delay += extra; }
+    /// Kept disjoint from service_time — see DiskStats. A non-positive span
+    /// is ignored: a negative "extra" would silently *refund* fault delay
+    /// through the charging entry point (found by fuzz/fuzz_disk_model.cpp).
+    void charge_delay(util::SimTime extra) noexcept {
+        if (extra.micros > 0) stats_.fault_delay += extra;
+    }
 
     /// A request already counted by read() was cancelled mid-service
     /// (preempted speculative read, hedged-out straggler): return the
     /// unrendered tail of its service time so busy accounting reflects what
-    /// the disk actually did. Clamped so over-cancelling (a tail larger than
-    /// the service time charged so far) can never drive the aggregate
-    /// negative.
+    /// the disk actually did. Clamped in both directions: a tail larger than
+    /// the service time charged so far (double cancel of the same request)
+    /// can never drive the aggregate negative, and a *negative* tail —
+    /// which would silently inflate service_time through the refund entry
+    /// point (found by fuzz/fuzz_disk_model.cpp) — is treated as zero.
     void cancel_tail(util::SimTime unrendered) noexcept {
         ++stats_.aborted_requests;
-        stats_.service_time.micros =
-            std::max<std::int64_t>(0, stats_.service_time.micros - unrendered.micros);
+        stats_.service_time.micros = std::max<std::int64_t>(
+            0, stats_.service_time.micros -
+                   std::max<std::int64_t>(0, unrendered.micros));
     }
 
     /// Give back injected delay (charge_delay) that a cancelled request never
     /// actually waited out. The counterpart of cancel_tail for the
     /// fault_delay side of the ledger, keeping the two disjoint after mixed
-    /// cancels; clamped the same way.
+    /// cancels; clamped the same way (never negative, negative tails ignored).
     void refund_delay(util::SimTime unrendered) noexcept {
-        stats_.fault_delay.micros =
-            std::max<std::int64_t>(0, stats_.fault_delay.micros - unrendered.micros);
+        stats_.fault_delay.micros = std::max<std::int64_t>(
+            0, stats_.fault_delay.micros -
+                   std::max<std::int64_t>(0, unrendered.micros));
     }
 
     /// Number of independent service channels.

@@ -21,17 +21,40 @@ void EventQueue::reset_to(SimTime t) {
     now_ = t;
 }
 
+void EventQueue::set_perturbation(const TiePerturbation& p) {
+    if (!handlers_.empty() || next_id_ != 0 || schedule_count_ != 0)
+        throw std::logic_error(
+            "EventQueue::set_perturbation: queue already issued events");
+    perturb_ = p;
+    next_id_ = p.id_offset;
+}
+
 EventQueue::EventId EventQueue::schedule(SimTime at, int priority,
                                          std::uint32_t source, Handler fn) {
     const EventId id = next_id_++;
     if (at < now_) at = now_;  // the past is immutable; fire as soon as possible
-    heap_.push_back(Entry{at, priority, source, id});
+    heap_.push_back(Entry{at, priority, source, id, tie_rank(id, priority)});
     std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>{});
     handlers_.emplace(id, Record{std::move(fn), source});
     if (source >= pending_by_source_.size()) pending_by_source_.resize(source + 1, 0);
     ++pending_by_source_[source];
+    if (perturb_.tombstone_stride != 0 &&
+        ++schedule_count_ % perturb_.tombstone_stride == 0) {
+        // A handler-less entry: dropped silently when it surfaces, but it
+        // disturbs the heap's internal layout until then — flushing out any
+        // client observably coupled to that layout.
+        const EventId ghost = next_id_++;
+        heap_.push_back(Entry{at, priority, source, ghost, tie_rank(ghost, priority)});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>{});
+    }
     JAWS_AUDIT((++audit_tick_ & 63) == 0 && audit());
     return id;
+}
+
+std::uint64_t EventQueue::tie_rank(EventId id, int priority) const noexcept {
+    const bool permuted = priority >= 0 && priority < 64 &&
+                          ((perturb_.permute_priorities >> priority) & 1) != 0;
+    return permuted ? id ^ perturb_.salt : id;
 }
 
 void EventQueue::note_source_gone(std::uint32_t source) {

@@ -35,6 +35,34 @@
 
 namespace jaws::util {
 
+/// Perturbation of the same-tick tie-break, for the schedule-perturbation
+/// determinism checker (tests/perturbation_test.cpp). The documented
+/// ordering contract fixes (time, priority, source) — insertion order is
+/// only the *arbitrary-but-stable* last resort for commutative event
+/// classes. A correct kernel client therefore produces bit-identical
+/// reports under any permutation of that last component for commutative
+/// classes, under any constant offset of the raw event ids, and under any
+/// tombstone entries disturbing the heap's internal layout. The checker
+/// runs workloads under several such perturbations and asserts digest
+/// equality; a client that secretly depends on insertion order, raw id
+/// values or heap layout is flushed out. Service *completions* are
+/// order-bearing (RunReport::sample_digest folds in completion-event
+/// order) and must not be listed in `permute_priorities`.
+struct TiePerturbation {
+    /// XOR-ed into the insertion rank of permuted classes (a bijection, so
+    /// same-tick ties are permuted, never collided).
+    std::uint64_t salt = 0;
+    /// Bit p set => permute the insertion-order tie-break of priority class
+    /// p (engine classes: kPriArrival, kPriVisibility, kPriDispatch are
+    /// commutative; kPriService completions are not).
+    std::uint64_t permute_priorities = 0;
+    /// Constant offset applied to every issued EventId.
+    std::uint64_t id_offset = 0;
+    /// Every Nth schedule also pushes a handler-less tombstone entry,
+    /// perturbing heap layout without firing anything (0 = off).
+    std::uint32_t tombstone_stride = 0;
+};
+
 /// Deterministic time-ordered event queue with stable FIFO tie-breaking.
 class EventQueue {
   public:
@@ -47,6 +75,11 @@ class EventQueue {
     /// Set the clock without running events (start of a run). Only valid
     /// while no events are pending.
     void reset_to(SimTime t);
+
+    /// Install a tie-break perturbation (see TiePerturbation). Only valid
+    /// on a fresh queue — before the first schedule() — so every event of
+    /// the run is perturbed consistently.
+    void set_perturbation(const TiePerturbation& p);
 
     /// Schedule `fn` at virtual time `at` (clamped to now(): the kernel
     /// cannot schedule into the past). Events at equal times fire in
@@ -107,12 +140,15 @@ class EventQueue {
         int priority;
         std::uint32_t source;
         EventId seq;
+        /// Insertion-order tie-break rank: seq, XOR-salted for priority
+        /// classes permuted by the installed TiePerturbation.
+        std::uint64_t tie;
 
         bool operator>(const Entry& o) const noexcept {
             if (at != o.at) return at > o.at;
             if (priority != o.priority) return priority > o.priority;
             if (source != o.source) return source > o.source;
-            return seq > o.seq;
+            return tie > o.tie;
         }
     };
 
@@ -123,6 +159,7 @@ class EventQueue {
 
     void drop_cancelled();
     void note_source_gone(std::uint32_t source);
+    std::uint64_t tie_rank(EventId id, int priority) const noexcept;
 
     // A min-heap kept by std::push_heap/pop_heap over a plain vector (rather
     // than std::priority_queue) so audit() can scan the pending entries.
@@ -134,6 +171,8 @@ class EventQueue {
     std::uint32_t last_source_ = 0;
     EventId next_id_ = 0;
     SimTime now_ = SimTime::zero();
+    TiePerturbation perturb_;
+    std::uint64_t schedule_count_ = 0;  ///< Drives the tombstone stride.
     // Rate limiter for the automatic audits of JAWS_AUDIT_BUILD: a full
     // audit is O(pending), so auditing every transition would make large
     // audit-build runs quadratic. Unused in normal builds.

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <compare>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace jaws::util {
@@ -22,12 +23,20 @@ struct SimTime {
     static constexpr SimTime from_micros(std::int64_t us) noexcept { return SimTime{us}; }
     // Round to the nearest microsecond (half away from zero, like llround):
     // truncation would drop up to 1 us per conversion, and those errors
-    // accumulate over the millions of conversions in a long run.
-    static SimTime from_millis(double ms) noexcept {
-        return SimTime{std::llround(ms * 1e3)};
-    }
-    static SimTime from_seconds(double s) noexcept {
-        return SimTime{std::llround(s * 1e6)};
+    // accumulate over the millions of conversions in a long run. Saturating:
+    // NaN maps to zero and magnitudes beyond the int64 microsecond range
+    // clamp to the extremes — std::llround's result is unspecified there,
+    // and heavy-tail specs can legally price a single request past it
+    // (found by fuzz/fuzz_disk_model.cpp).
+    static SimTime from_millis(double ms) noexcept { return from_real_micros(ms * 1e3); }
+    static SimTime from_seconds(double s) noexcept { return from_real_micros(s * 1e6); }
+    static SimTime from_real_micros(double us) noexcept {
+        // Just below 2^63 (~9.223e18); llround is well-defined within it.
+        constexpr double bound = 9.2e18;
+        if (std::isnan(us)) return zero();
+        if (us >= bound) return SimTime{std::numeric_limits<std::int64_t>::max()};
+        if (us <= -bound) return SimTime{std::numeric_limits<std::int64_t>::min()};
+        return SimTime{std::llround(us)};
     }
 
     constexpr double seconds() const noexcept { return static_cast<double>(micros) * 1e-6; }

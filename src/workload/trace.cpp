@@ -1,8 +1,11 @@
 #include "workload/trace.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace jaws::workload {
 
@@ -43,58 +46,117 @@ std::vector<TraceRecord> flatten(const Workload& workload, const NominalCost& co
     return out;
 }
 
+std::string to_csv(const std::vector<TraceRecord>& records) {
+    std::string out = "query,job,seq,user,job_type,timestep,kind,positions,atoms,submit_us\n";
+    char row[256];
+    for (const auto& r : records) {
+        const int n = std::snprintf(
+            row, sizeof row, "%llu,%llu,%u,%u,%u,%u,%u,%llu,%u,%lld\n",
+            static_cast<unsigned long long>(r.query),
+            static_cast<unsigned long long>(r.true_job), r.seq_in_job, r.user,
+            static_cast<unsigned>(r.job_type), r.timestep, static_cast<unsigned>(r.kind),
+            static_cast<unsigned long long>(r.positions), r.atoms,
+            static_cast<long long>(r.submit.micros));
+        out.append(row, static_cast<std::size_t>(n));
+    }
+    return out;
+}
+
 void save_csv(const std::string& path, const std::vector<TraceRecord>& records) {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) throw std::runtime_error("save_csv: cannot open " + path);
-    std::fprintf(f, "query,job,seq,user,job_type,timestep,kind,positions,atoms,submit_us\n");
-    for (const auto& r : records) {
-        std::fprintf(f, "%llu,%llu,%u,%u,%u,%u,%u,%llu,%u,%lld\n",
-                     static_cast<unsigned long long>(r.query),
-                     static_cast<unsigned long long>(r.true_job), r.seq_in_job, r.user,
-                     static_cast<unsigned>(r.job_type), r.timestep,
-                     static_cast<unsigned>(r.kind),
-                     static_cast<unsigned long long>(r.positions), r.atoms,
-                     static_cast<long long>(r.submit.micros));
-    }
+    const std::string text = to_csv(records);
+    std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
 }
 
-std::vector<TraceRecord> load_csv(const std::string& path) {
-    std::FILE* f = std::fopen(path.c_str(), "r");
-    if (f == nullptr) throw std::runtime_error("load_csv: cannot open " + path);
+namespace {
+
+[[noreturn]] void malformed(std::size_t lineno, const std::string& what) {
+    throw std::runtime_error("parse_csv: line " + std::to_string(lineno) + ": " + what);
+}
+
+/// Parse one comma-terminated integer field. The whole field must be
+/// consumed by the parse (no stray bytes, no sign on unsigned columns —
+/// std::from_chars rejects both, and reports overflow as an error instead
+/// of the undefined behaviour std::sscanf has on out-of-range input).
+template <typename T>
+T parse_field(std::string_view& row, std::size_t lineno, const char* name,
+              bool last = false) {
+    const std::size_t comma = row.find(',');
+    if (last != (comma == std::string_view::npos))
+        malformed(lineno, last ? "trailing fields after `" + std::string(name) + "`"
+                               : "row ends before `" + std::string(name) + "`");
+    const std::string_view field = row.substr(0, comma);
+    if (field.empty()) malformed(lineno, "empty `" + std::string(name) + "` field");
+    T value{};
+    const auto [end, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec == std::errc::result_out_of_range)
+        malformed(lineno, "`" + std::string(name) + "` out of range: " +
+                              std::string(field));
+    if (ec != std::errc{} || end != field.data() + field.size())
+        malformed(lineno, "`" + std::string(name) + "` is not a valid integer: " +
+                              std::string(field));
+    row.remove_prefix(last ? row.size() : comma + 1);
+    return value;
+}
+
+}  // namespace
+
+std::vector<TraceRecord> parse_csv(std::string_view text) {
     std::vector<TraceRecord> out;
-    char line[512];
-    bool header = true;
-    while (std::fgets(line, sizeof line, f) != nullptr) {
-        if (header) {  // skip the header row
-            header = false;
-            continue;
+    std::size_t lineno = 0;
+    while (!text.empty()) {
+        const std::size_t nl = text.find('\n');
+        std::string_view row = text.substr(0, nl);
+        text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+        ++lineno;
+        if (!row.empty() && row.back() == '\r') row.remove_suffix(1);  // CRLF traces
+        if (lineno == 1) {
+            if (row.empty()) malformed(lineno, "missing header row");
+            continue;  // header row (column names, never parsed as data)
+        }
+        if (row.empty()) {
+            if (text.empty()) break;  // trailing newline at end of file
+            malformed(lineno, "blank row inside the trace");
         }
         TraceRecord r;
-        unsigned long long query = 0, job = 0, positions = 0;
-        long long submit = 0;
-        unsigned seq = 0, user = 0, job_type = 0, timestep = 0, kind = 0, atoms = 0;
-        const int n = std::sscanf(line, "%llu,%llu,%u,%u,%u,%u,%u,%llu,%u,%lld", &query, &job,
-                                  &seq, &user, &job_type, &timestep, &kind, &positions, &atoms,
-                                  &submit);
-        if (n != 10) {
-            std::fclose(f);
-            throw std::runtime_error("load_csv: malformed row in " + path);
-        }
-        r.query = query;
-        r.true_job = job;
-        r.seq_in_job = seq;
-        r.user = static_cast<UserId>(user);
+        r.query = parse_field<QueryId>(row, lineno, "query");
+        r.true_job = parse_field<JobId>(row, lineno, "job");
+        r.seq_in_job = parse_field<std::uint32_t>(row, lineno, "seq");
+        r.user = parse_field<UserId>(row, lineno, "user");
+        const auto job_type = parse_field<std::uint8_t>(row, lineno, "job_type");
+        if (job_type > static_cast<std::uint8_t>(JobType::kBatched))
+            malformed(lineno, "job_type " + std::to_string(job_type) +
+                                  " names no JobType enumerator");
         r.job_type = static_cast<JobType>(job_type);
-        r.timestep = timestep;
+        r.timestep = parse_field<std::uint32_t>(row, lineno, "timestep");
+        const auto kind = parse_field<std::uint8_t>(row, lineno, "kind");
+        if (kind > static_cast<std::uint8_t>(storage::ComputeKind::kFlowStats))
+            malformed(lineno, "kind " + std::to_string(kind) +
+                                  " names no ComputeKind enumerator");
         r.kind = static_cast<storage::ComputeKind>(kind);
-        r.positions = positions;
-        r.atoms = atoms;
-        r.submit = util::SimTime::from_micros(submit);
+        r.positions = parse_field<std::uint64_t>(row, lineno, "positions");
+        r.atoms = parse_field<std::uint32_t>(row, lineno, "atoms");
+        r.submit = util::SimTime::from_micros(
+            parse_field<std::int64_t>(row, lineno, "submit_us", /*last=*/true));
         out.push_back(r);
     }
-    std::fclose(f);
     return out;
+}
+
+std::vector<TraceRecord> load_csv(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw std::runtime_error("load_csv: cannot open " + path);
+    std::string text;
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) throw std::runtime_error("load_csv: read error on " + path);
+    return parse_csv(text);
 }
 
 }  // namespace jaws::workload

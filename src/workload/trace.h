@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "workload/job.h"
@@ -41,10 +42,25 @@ struct NominalCost {
 /// Flatten `workload` into submission-time-ordered records.
 std::vector<TraceRecord> flatten(const Workload& workload, const NominalCost& cost = {});
 
+/// Format records as CSV text (header + one row per record) — the exact
+/// bytes save_csv writes, exposed so parse_csv round-trips can be checked
+/// without touching the filesystem.
+std::string to_csv(const std::vector<TraceRecord>& records);
+
 /// Write records as CSV (header + one row per record).
 void save_csv(const std::string& path, const std::vector<TraceRecord>& records);
 
-/// Read records back from CSV; throws std::runtime_error on malformed input.
+/// Parse CSV trace text (header line + one row per record). The strict
+/// counterpart of save_csv: every row must carry exactly the ten numeric
+/// fields, each fully consumed by an in-range integer parse, and the two
+/// enum columns (job_type, kind) must name declared enumerators — a trace
+/// is an *input* in the production framing, so malformed bytes must be
+/// rejected with std::runtime_error (never UB, never a silently truncated
+/// or enum-invalid record). Fuzzed directly by fuzz/fuzz_trace.cpp.
+std::vector<TraceRecord> parse_csv(std::string_view text);
+
+/// Read records back from CSV; throws std::runtime_error on malformed input
+/// (parse_csv semantics) or an unreadable file.
 std::vector<TraceRecord> load_csv(const std::string& path);
 
 }  // namespace jaws::workload

@@ -233,5 +233,61 @@ TEST(DiskModel, ResetStatsKeepsHead) {
     EXPECT_NEAR(disk.read(1 << 20, 1 << 20).millis(), transfer_ms(1 << 20), 2e-3);
 }
 
+// --------------------------------------------------------------------------
+// Fuzz-pinned ledger regressions (fuzz/fuzz_disk_model.cpp). The byte-level
+// triggering inputs live in fuzz/corpus/fuzz_disk_model/ and replay as the
+// FuzzReplay.fuzz_disk_model ctest in every build.
+// --------------------------------------------------------------------------
+
+TEST(DiskModel, NegativeCancelTailCannotInflateServiceTime) {
+    DiskModel disk(spec());
+    const std::int64_t charged = disk.read(0, 1 << 20).micros;
+    disk.cancel_tail(util::SimTime::from_micros(-100'000));
+    EXPECT_EQ(disk.stats().service_time.micros, charged);
+}
+
+TEST(DiskModel, OverRefundAfterNegativeCancelClampsAtZero) {
+    // The regression-negative-refund corpus input: a negative cancel must
+    // not bank credit that a later over-sized cancel could turn into a
+    // negative ledger.
+    DiskModel disk(spec());
+    disk.cancel_tail(util::SimTime::from_micros(-100'000));  // ignored
+    disk.refund_delay(util::SimTime::zero());                // no-op
+    disk.cancel_tail(util::SimTime::from_micros(200'000));   // > ever charged
+    EXPECT_EQ(disk.stats().service_time.micros, 0);
+}
+
+TEST(DiskModel, NegativeAndOverSizedDelayRefundsClampOnTheFaultLedger) {
+    DiskModel disk(spec());
+    disk.charge_delay(util::SimTime::from_micros(-50));  // ignored
+    EXPECT_EQ(disk.stats().fault_delay.micros, 0);
+    disk.charge_delay(util::SimTime::from_micros(70));
+    disk.refund_delay(util::SimTime::from_micros(-30));  // ignored
+    EXPECT_EQ(disk.stats().fault_delay.micros, 70);
+    disk.refund_delay(util::SimTime::from_micros(200));  // clamps to zero
+    EXPECT_EQ(disk.stats().fault_delay.micros, 0);
+}
+
+TEST(DiskModel, ExtremeParetoTailSaturatesInsteadOfOverflowing) {
+    // pareto_alpha at its legal floor draws astronomically large (even
+    // infinite) multipliers; the model caps the straggler factor at 1e6 so
+    // every read cost stays a finite, non-negative count of microseconds
+    // and the service ledger cannot overflow within a run.
+    DiskSpec s = spec();
+    s.heavy_tail.rate = 1.0;
+    s.heavy_tail.pareto = true;
+    s.heavy_tail.pareto_alpha = 0.05;
+    s.heavy_tail.pareto_min = 1.0;
+    DiskModel disk(s);
+    for (int i = 0; i < 256; ++i) {
+        // peek_cost tracks the head, so the bound is per-read.
+        const std::int64_t base = disk.peek_cost(0, 1 << 20).micros;
+        const std::int64_t cost = disk.read(0, 1 << 20).micros;
+        EXPECT_GE(cost, 0);
+        EXPECT_LE(cost, base * 1'000'000 + 1);  // the 1e6 multiplier cap
+    }
+    EXPECT_GE(disk.stats().service_time.micros, 0);
+}
+
 }  // namespace
 }  // namespace jaws::storage

@@ -545,5 +545,144 @@ TEST(SimResource, CancelUnknownIdReturnsFalse) {
     EXPECT_FALSE(disk.cancel(12345));
 }
 
+// --------------------------------------------------------------------------
+// Same-tick cancel + repost interleavings. A handler cancelling a sibling
+// scheduled at the *current* instant and immediately reposting is the
+// schedule class the program fuzzer (fuzz/fuzz_event_queue.cpp) exercises
+// hardest; these pin the documented golden orders.
+// --------------------------------------------------------------------------
+
+TEST(EventQueue, SameTickCancelAndRepostJoinsTheTickTail) {
+    EventQueue q;
+    std::vector<std::string> order;
+    EventQueue::EventId c = 0;
+    // `a` fires first, cancels `c` (same tick, same priority) and reposts a
+    // replacement `d` at that tick. The replacement takes a fresh insertion
+    // rank — it joins the tail of the tick behind `b`, never re-occupying
+    // the cancelled slot.
+    q.schedule(us(10), 1, [&] {
+        order.push_back("a");
+        EXPECT_TRUE(q.cancel(c));
+        q.schedule(us(10), 1, [&] { order.push_back("d"); });
+    });
+    q.schedule(us(10), 1, [&] { order.push_back("b"); });
+    c = q.schedule(us(10), 1, [&] { order.push_back("c"); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "d"}));
+    EXPECT_EQ(q.now().micros, 10);  // all of it happened at one instant
+    EXPECT_TRUE(q.audit());
+}
+
+TEST(EventQueue, SameTickRepostAtHigherPriorityOvertakesRemainingSiblings) {
+    EventQueue q;
+    std::vector<std::string> order;
+    EventQueue::EventId doomed = 0;
+    q.schedule(us(10), 2, [&] {
+        order.push_back("first");
+        EXPECT_TRUE(q.cancel(doomed));
+        // Lower priority value sorts earlier: the repost runs at this tick
+        // *before* the remaining priority-2 siblings.
+        q.schedule(us(10), 1, [&] { order.push_back("repost"); });
+    });
+    q.schedule(us(10), 2, [&] { order.push_back("second"); });
+    doomed = q.schedule(us(10), 2, [&] { order.push_back("doomed"); });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<std::string>{"first", "repost", "second"}));
+}
+
+TEST(EventQueue, CancelRepostChurnAtOneTickIsDeterministic) {
+    // A chain of handlers at one instant, each cancelling the next pending
+    // sibling and reposting a replacement. Run the program twice: the full
+    // firing order is golden and the queue drains clean both times.
+    const auto run = [] {
+        EventQueue q;
+        std::vector<int> order;
+        std::vector<EventQueue::EventId> ids;
+        for (int i = 0; i < 8; ++i) {
+            ids.push_back(q.schedule(us(5), 1, [&, i] {
+                order.push_back(i);
+                // Cancel the next still-pending original (if any) and repost
+                // a tagged replacement at the same tick.
+                for (std::size_t j = static_cast<std::size_t>(i) + 1;
+                     j < ids.size(); ++j) {
+                    if (q.cancel(ids[j])) {
+                        q.schedule(us(5), 1,
+                                   [&order, j] { order.push_back(100 + static_cast<int>(j)); });
+                        break;
+                    }
+                }
+            }));
+        }
+        while (q.run_one()) {
+        }
+        EXPECT_TRUE(q.empty());
+        EXPECT_TRUE(q.audit());
+        return order;
+    };
+    const std::vector<int> first = run();
+    const std::vector<int> second = run();
+    EXPECT_EQ(first, second);
+    // Golden: 0 cancels 1 and reposts 101; 2 cancels 3, reposts 103; ... the
+    // reposts land behind the surviving originals, and each repost fires
+    // after every original (reposts themselves cancel nothing).
+    EXPECT_EQ(first, (std::vector<int>{0, 2, 4, 6, 101, 103, 105, 107}));
+}
+
+TEST(SimResource, SameTickCancelAndResubmitBackfillsAtOneInstant) {
+    // Cancel an in-service job and resubmit its replacement from the same
+    // event handler: the channel frees and re-fills at one virtual instant,
+    // with the replacement's completion priced from the cancel tick.
+    EventQueue q;
+    SimResource disk(q, 1, 0);
+    std::vector<std::int64_t> done;
+    std::int64_t abort_remaining = -1;
+    SimResource::Job head = fixed_job(us(100), done, q, 1);
+    head.on_abort = [&](std::size_t, SimTime remaining) {
+        abort_remaining = remaining.micros;
+    };
+    const SimResource::JobId id = disk.submit(std::move(head));
+    q.schedule(us(40), 0, [&] {
+        EXPECT_TRUE(disk.cancel(id));
+        disk.submit(fixed_job(us(10), done, q, 2));
+    });
+    while (q.run_one()) {
+    }
+    EXPECT_EQ(abort_remaining, 60);  // 100 - 40 unrendered
+    EXPECT_EQ(done, (std::vector<std::int64_t>{2}));
+    EXPECT_EQ(q.now().micros, 50);  // replacement started at 40, ran 10
+    EXPECT_TRUE(disk.idle());
+    EXPECT_TRUE(disk.audit());
+    EXPECT_TRUE(q.audit());
+}
+
+TEST(SimResource, CancelResubmitChurnAtOneTickKeepsConservation) {
+    // Fuzz-shaped churn, pinned: at one instant, cancel a waiting job, the
+    // in-service job, and resubmit two replacements on a two-channel
+    // resource. Every started job resolves exactly once and the audits hold.
+    EventQueue q;
+    SimResource disk(q, 2, 0);
+    std::vector<std::int64_t> done;
+    const SimResource::JobId a = disk.submit(fixed_job(us(100), done, q, 1));
+    disk.submit(fixed_job(us(100), done, q, 2));
+    const SimResource::JobId c = disk.submit(fixed_job(us(100), done, q, 3));
+    q.schedule(us(25), 0, [&] {
+        EXPECT_TRUE(disk.cancel(c));  // still waiting: silent discard
+        EXPECT_TRUE(disk.cancel(a));  // in service: aborts, channel backfills
+        disk.submit(fixed_job(us(5), done, q, 4));
+        disk.submit(fixed_job(us(15), done, q, 5));
+    });
+    while (q.run_one()) {
+    }
+    // Channel freed by `a` takes job 4 at t=25 (done 30), then job 5 at 30
+    // (done 45); job 2 runs to its natural completion at t=100.
+    EXPECT_EQ(done, (std::vector<std::int64_t>{4, 5, 2}));
+    EXPECT_EQ(q.now().micros, 100);
+    EXPECT_TRUE(disk.idle());
+    EXPECT_TRUE(disk.audit());
+    EXPECT_TRUE(q.audit());
+}
+
 }  // namespace
 }  // namespace jaws::util

@@ -1,0 +1,181 @@
+// Header-only deterministic property-testing harness.
+//
+// A property is a function of a Gen (a recorded stream of 64-bit choices)
+// returning an empty string when it holds and a failure description when it
+// does not. check() runs the property over `cases` generated choice streams
+// — every stream derived from the fixed seed, no wall clock, no ambient
+// randomness, so a failing case reproduces bit-identically forever — and on
+// failure *shrinks* the recorded choices (bounded passes of truncation,
+// zeroing and halving; a Gen replaying a shortened stream reads zeros past
+// the end, so every shrunk stream is still a valid case) before reporting
+// the minimal counterexample it kept.
+//
+// The harness lives in tests/ on purpose: it is test infrastructure, not
+// simulation code, and src/ stays free of test-only machinery.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace jaws::proptest {
+
+/// Recorded (or replayed) stream of primitive choices.
+class Gen {
+  public:
+    /// Recording mode: draw fresh choices from a seeded stream.
+    explicit Gen(std::uint64_t seed) : rng_(seed), record_(true) {}
+
+    /// Replay mode: read back a recorded (possibly shrunk) stream; reads
+    /// past the end yield zero, so truncation always replays cleanly.
+    explicit Gen(std::vector<std::uint64_t> choices)
+        : rng_(0), record_(false), choices_(std::move(choices)) {}
+
+    std::uint64_t u64() {
+        if (record_) {
+            choices_.push_back(rng_());
+            return choices_.back();
+        }
+        return pos_ < choices_.size() ? choices_[pos_++] : 0;
+    }
+
+    bool boolean() { return (u64() & 1) != 0; }
+
+    /// Uniform-ish value in [0, n); 0 when n == 0.
+    std::uint64_t below(std::uint64_t n) { return n ? u64() % n : 0; }
+
+    /// Uniform-ish value in the closed range [lo, hi].
+    std::int64_t in_range(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Double in [0, 1) from 53 mantissa bits.
+    double unit() { return static_cast<double>(u64() >> 11) * 0x1.0p-53; }
+
+    /// Double in [lo, hi).
+    double in_real(double lo, double hi) { return lo + (hi - lo) * unit(); }
+
+    const std::vector<std::uint64_t>& choices() const { return choices_; }
+
+  private:
+    util::Rng rng_;
+    bool record_;
+    std::vector<std::uint64_t> choices_;
+    std::size_t pos_ = 0;
+};
+
+struct Config {
+    std::uint64_t seed = 0x5EED;  ///< Base seed; case i runs seed ^ mix(i).
+    int cases = 200;              ///< Generated cases per property.
+    int max_shrinks = 300;        ///< Property evaluations the shrinker may spend.
+};
+
+/// Result of a check() run; `ok` with an empty message when the property
+/// held over every case.
+struct Outcome {
+    bool ok = true;
+    std::string message;  ///< Failure + minimal counterexample rendering.
+};
+
+namespace detail {
+
+/// An exception escaping the property is a failure like any other (the
+/// shrinker keeps working on it); contract aborts, by design, still abort.
+template <typename Property>
+std::string run_guarded(Property& property, Gen& gen) {
+    try {
+        return property(gen);
+    } catch (const std::exception& e) {
+        return std::string("unexpected exception: ") + e.what();
+    }
+}
+
+template <typename Property>
+std::string replay(Property& property, const std::vector<std::uint64_t>& choices) {
+    Gen gen(choices);
+    return run_guarded(property, gen);
+}
+
+inline std::string render(const std::vector<std::uint64_t>& choices) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < choices.size(); ++i)
+        out += (i ? "," : "") + std::to_string(choices[i]);
+    return out + "}";
+}
+
+}  // namespace detail
+
+/// Replay a specific counterexample (e.g. one printed by a past failure).
+template <typename Property>
+Outcome recheck(Property property, const std::vector<std::uint64_t>& choices) {
+    const std::string failure = detail::replay(property, choices);
+    if (failure.empty()) return {};
+    return {false, failure + "\n  counterexample: " + detail::render(choices)};
+}
+
+/// Run `property` over `config.cases` generated choice streams; on failure,
+/// shrink within the evaluation budget and report the smallest stream kept.
+template <typename Property>
+Outcome check(const Config& config, Property property) {
+    for (int i = 0; i < config.cases; ++i) {
+        std::uint64_t mix = config.seed + static_cast<std::uint64_t>(i);
+        Gen gen(util::splitmix64(mix));
+        std::string failure = detail::run_guarded(property, gen);
+        if (failure.empty()) continue;
+
+        // Shrink: keep any smaller stream that still fails. Each pass is a
+        // deterministic sweep; the budget bounds total property evaluations.
+        std::vector<std::uint64_t> best = gen.choices();
+        int budget = config.max_shrinks;
+        bool improved = true;
+        while (improved && budget > 0) {
+            improved = false;
+            // 1. Truncate: drop the tail, keeping ever-larger prefixes until
+            // one still fails (or the prefix stops being a strict shrink).
+            for (std::size_t keep = best.size() / 2;
+                 keep < best.size() && budget > 0;
+                 keep += (best.size() - keep + 1) / 2) {
+                std::vector<std::uint64_t> candidate(
+                    best.begin(), best.begin() + static_cast<std::ptrdiff_t>(keep));
+                --budget;
+                const std::string f = detail::replay(property, candidate);
+                if (!f.empty()) {
+                    best = std::move(candidate);
+                    failure = f;
+                    improved = true;
+                    break;
+                }
+            }
+            // 2. Zero / halve single positions (simplest values first).
+            for (std::size_t p = 0; p < best.size() && budget > 0; ++p) {
+                if (best[p] == 0) continue;
+                for (const std::uint64_t value :
+                     {std::uint64_t{0}, best[p] / 2}) {
+                    if (value == best[p]) continue;
+                    std::vector<std::uint64_t> candidate = best;
+                    candidate[p] = value;
+                    --budget;
+                    if (const std::string f = detail::replay(property, candidate);
+                        !f.empty()) {
+                        best = std::move(candidate);
+                        failure = f;
+                        improved = true;
+                        break;
+                    }
+                    if (budget == 0) break;
+                }
+            }
+        }
+        return {false, "case " + std::to_string(i) + " (seed " +
+                           std::to_string(config.seed) + "): " + failure +
+                           "\n  minimal counterexample: " + detail::render(best) +
+                           "\n  replay with jaws::proptest::recheck()"};
+    }
+    return {};
+}
+
+}  // namespace jaws::proptest

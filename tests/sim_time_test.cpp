@@ -1,6 +1,8 @@
 // Tests for virtual time and the virtual clock (util/sim_time.h).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/sim_time.h"
 
 namespace jaws::util {
@@ -85,6 +87,26 @@ TEST(VirtualClock, ResetReturnsToZero) {
     clock.advance(SimTime::from_seconds(1));
     clock.reset();
     EXPECT_EQ(clock.now(), SimTime::zero());
+}
+
+TEST(SimTime, RealConversionsSaturateInsteadOfOverflowing) {
+    // Fuzz-pinned (fuzz/fuzz_config.cpp): heavy-tail pricing can hand
+    // from_millis/from_seconds non-finite or astronomically large reals;
+    // llround on those is UB, so the conversions saturate to the int64
+    // extremes (and map NaN to zero) instead.
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    constexpr std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+    EXPECT_EQ(SimTime::from_seconds(inf).micros, hi);
+    EXPECT_EQ(SimTime::from_millis(inf).micros, hi);
+    EXPECT_EQ(SimTime::from_seconds(-inf).micros, lo);
+    EXPECT_EQ(SimTime::from_millis(-1e300).micros, lo);
+    EXPECT_EQ(SimTime::from_seconds(1e300).micros, hi);
+    EXPECT_EQ(
+        SimTime::from_millis(std::numeric_limits<double>::quiet_NaN()).micros,
+        0);
+    // Values inside the representable band still round to nearest.
+    EXPECT_EQ(SimTime::from_millis(2.0004).micros, 2'000);
 }
 
 }  // namespace

@@ -104,5 +104,79 @@ TEST(Trace, EmptyWorkloadFlattensEmpty) {
     EXPECT_TRUE(flatten(Workload{}).empty());
 }
 
+// --------------------------------------------------------------------------
+// Fuzz-pinned parser regressions (fuzz/fuzz_trace.cpp). Each literal below
+// mirrors a corpus file under fuzz/corpus/fuzz_trace/, replayed as the
+// FuzzReplay.fuzz_trace ctest in every build.
+// --------------------------------------------------------------------------
+
+constexpr const char* kHeader =
+    "query,job,seq,user,job_type,timestep,kind,positions,atoms,submit_us\n";
+
+TEST(Trace, ParseCsvAcceptsAValidRow) {
+    const auto records = parse_csv(
+        std::string(kHeader) + "7,3,2,1,1,40,2,1200,9,500000\n");
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].query, 7u);
+    EXPECT_EQ(records[0].job_type, JobType::kBatched);
+    EXPECT_EQ(records[0].kind, storage::ComputeKind::kFlowStats);
+    EXPECT_EQ(records[0].submit.micros, 500'000);
+}
+
+TEST(Trace, ParseCsvRejectsOverflowingField) {
+    // regression-overflow.csv: a seq column wider than any integer type.
+    // The old scanf-based parser silently wrapped (UB for the unsigned
+    // conversions); the from_chars parser must reject the row.
+    EXPECT_THROW(
+        parse_csv(std::string(kHeader) +
+                  "1,1,99999999999999999999999,0,0,1,0,10,1,0\n"),
+        std::runtime_error);
+}
+
+TEST(Trace, ParseCsvRejectsOutOfRangeEnums) {
+    // regression-bad-enum.csv: numeric but undeclared enumerators must not
+    // materialise as TraceRecord fields.
+    EXPECT_THROW(parse_csv(std::string(kHeader) + "1,1,0,0,7,1,0,10,1,0\n"),
+                 std::runtime_error);  // job_type 7
+    EXPECT_THROW(parse_csv(std::string(kHeader) + "1,1,0,0,0,1,9,10,1,0\n"),
+                 std::runtime_error);  // kind 9
+}
+
+TEST(Trace, ParseCsvRejectsTruncatedAndOverlongRows) {
+    // regression-truncated-row.csv: nine fields, or eleven, is not a record.
+    EXPECT_THROW(parse_csv(std::string(kHeader) + "1,1,0,0,0,1,0,10,1\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parse_csv(std::string(kHeader) + "1,1,0,0,0,1,0,10,1,0,5\n"),
+                 std::runtime_error);
+}
+
+TEST(Trace, ParseCsvAcceptsCrlfAndMissingTrailingNewline) {
+    const auto crlf = parse_csv(std::string(kHeader) +
+                                "1,1,0,0,0,1,0,10,1,0\r\n"
+                                "2,1,1,0,0,1,0,10,1,5");
+    ASSERT_EQ(crlf.size(), 2u);
+    EXPECT_EQ(crlf[1].query, 2u);
+}
+
+TEST(Trace, ToCsvRoundTripsInMemory) {
+    // The filesystem-free counterpart of CsvRoundTrip, and the oracle the
+    // fuzzer uses: parse_csv(to_csv(r)) == r, field for field.
+    const auto records = flatten(small_workload());
+    const auto reparsed = parse_csv(to_csv(records));
+    ASSERT_EQ(reparsed.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        ASSERT_EQ(reparsed[i].query, records[i].query);
+        ASSERT_EQ(reparsed[i].true_job, records[i].true_job);
+        ASSERT_EQ(reparsed[i].seq_in_job, records[i].seq_in_job);
+        ASSERT_EQ(reparsed[i].user, records[i].user);
+        ASSERT_EQ(reparsed[i].job_type, records[i].job_type);
+        ASSERT_EQ(reparsed[i].timestep, records[i].timestep);
+        ASSERT_EQ(reparsed[i].kind, records[i].kind);
+        ASSERT_EQ(reparsed[i].positions, records[i].positions);
+        ASSERT_EQ(reparsed[i].atoms, records[i].atoms);
+        ASSERT_EQ(reparsed[i].submit, records[i].submit);
+    }
+}
+
 }  // namespace
 }  // namespace jaws::workload
