@@ -65,7 +65,7 @@ jaws::core::ClusterConfig sweep_config(std::size_t replication, bool death,
                           : jaws::core::ClusterMode::kLegacy;
     if (death)
         config.node.faults.node_down.push_back(jaws::storage::NodeDownEvent{
-            kDeadNode, jaws::util::SimTime::from_seconds(kDeathSeconds)});
+            jaws::util::NodeIndex{static_cast<std::uint32_t>(kDeadNode)}, jaws::util::SimTime::from_seconds(kDeathSeconds)});
     return config;
 }
 

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
         cluster_config.nodes = 4;
         cluster_config.replication = replication;
         cluster_config.node.faults.node_down.push_back(
-            storage::NodeDownEvent{1, util::SimTime::from_seconds(60.0)});
+            storage::NodeDownEvent{util::NodeIndex{1}, util::SimTime::from_seconds(60.0)});
         core::TurbulenceCluster cluster(cluster_config);
         const core::ClusterReport r = cluster.run(workload);
         std::printf("%-14zu %12.1f %10zu %10zu %10zu %12.3f\n", replication,

@@ -58,7 +58,7 @@ void BM_BptreeInsert(benchmark::State& state) {
         util::Rng rng(3);
         state.ResumeTiming();
         for (int i = 0; i < state.range(0); ++i)
-            tree.insert(rng(), storage::DiskExtent{0, 1});
+            tree.insert(util::AtomKey{rng()}, storage::DiskExtent{0, 1});
         benchmark::DoNotOptimize(tree.size());
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -71,26 +71,27 @@ void BM_BptreeFind(benchmark::State& state) {
     std::vector<std::uint64_t> keys;
     for (int i = 0; i < 100000; ++i) {
         keys.push_back(rng());
-        tree.insert(keys.back(), storage::DiskExtent{0, 1});
+        tree.insert(util::AtomKey{keys.back()}, storage::DiskExtent{0, 1});
     }
     std::size_t i = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(tree.find(keys[i++ % keys.size()]));
+        benchmark::DoNotOptimize(tree.find(util::AtomKey{keys[i++ % keys.size()]}));
     }
 }
 BENCHMARK(BM_BptreeFind);
 
 void BM_BptreeScan(benchmark::State& state) {
     storage::BPlusTree tree;
-    std::vector<std::pair<std::uint64_t, storage::DiskExtent>> records;
+    std::vector<std::pair<util::AtomKey, storage::DiskExtent>> records;
     for (std::uint64_t i = 0; i < 100000; ++i)
-        records.emplace_back(i, storage::DiskExtent{i, 1});
+        records.emplace_back(util::AtomKey{i}, storage::DiskExtent{i, 1});
     tree.bulk_load(records);
     for (auto _ : state) {
         std::uint64_t sum = 0;
-        tree.scan(1000, 1000 + static_cast<std::uint64_t>(state.range(0)),
-                  [&](std::uint64_t k, const storage::DiskExtent&) {
-                      sum += k;
+        tree.scan(util::AtomKey{1000},
+                  util::AtomKey{1000 + static_cast<std::uint64_t>(state.range(0))},
+                  [&](util::AtomKey k, const storage::DiskExtent&) {
+                      sum += k.value();
                       return true;
                   });
         benchmark::DoNotOptimize(sum);

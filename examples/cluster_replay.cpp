@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
         core::ClusterConfig faulty = config;
         faulty.replication = 2;
         faulty.node.faults.node_down.push_back(
-            storage::NodeDownEvent{0, util::SimTime::from_seconds(30.0)});
+            storage::NodeDownEvent{util::NodeIndex{0}, util::SimTime::from_seconds(30.0)});
         core::TurbulenceCluster degraded_cluster(faulty);
         const core::ClusterReport degraded = degraded_cluster.run(workload);
         std::printf("\nwith node 0 dying at t=30s (replication 2): makespan %.0f s "

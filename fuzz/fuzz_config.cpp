@@ -148,7 +148,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
     const std::size_t downs = in.below(4);
     for (std::size_t i = 0; i < downs; ++i) {
         jaws::storage::NodeDownEvent ev;
-        ev.node = in.below(20);
+        ev.node = jaws::util::NodeIndex{static_cast<std::uint32_t>(in.below(20))};
         ev.at = jaws::util::SimTime{in.range(-10, 1 << 20)};
         cluster.node.faults.node_down.push_back(ev);
     }

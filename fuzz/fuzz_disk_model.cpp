@@ -26,6 +26,7 @@ namespace {
 using jaws::fuzz::FuzzInput;
 using jaws::storage::DiskModel;
 using jaws::storage::DiskSpec;
+using jaws::util::ChannelIndex;
 using jaws::util::SimTime;
 
 constexpr int kMaxOps = 256;
@@ -66,7 +67,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
             case 1: {  // read, priced against peek_cost
                 const std::uint64_t offset = in.u64() % (1ULL << 50);
                 const std::uint64_t bytes = in.u64() % (1ULL << 30);
-                const std::size_t channel = in.below(channels);
+                const ChannelIndex channel{in.below(channels)};
                 const SimTime peek = disk.peek_cost(offset, bytes, channel);
                 const SimTime cost = disk.read(offset, bytes, channel);
                 JAWS_FUZZ_REQUIRE(cost.micros >= 0, "negative read cost");
@@ -107,7 +108,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
             case 5: {  // out-of-range channel must throw, not corrupt
                 bool threw = false;
                 try {
-                    disk.read(in.u64(), 1024, channels + in.below(4));
+                    disk.read(in.u64(), 1024, ChannelIndex{channels + in.below(4)});
                 } catch (const std::out_of_range&) {
                     threw = true;
                 }

@@ -6,6 +6,8 @@
 #   scripts/check.sh --asan     # same, built with address+UB sanitizers
 #   scripts/check.sh --tsan     # same, built with the thread sanitizer
 #   scripts/check.sh --audit    # same, with JAWS_AUDIT_BUILD contract audits
+#   scripts/check.sh --intsan   # same, with -fsanitize=signed-integer-overflow
+#                               # (proves SimTime saturation leaves no UB)
 #   scripts/check.sh --tidy     # static gates only: determinism lint +
 #                               # semantic analyzer + layering lint +
 #                               # clang-tidy over compile_commands.json
@@ -27,11 +29,12 @@ for arg in "$@"; do
         --asan) preset=asan-ubsan ;;
         --tsan) preset=tsan ;;
         --audit) preset=audit ;;
+        --intsan) preset=intsan ;;
         --tidy) tidy=1 ;;
         --fast) smoke=0 ;;
         --fuzz) fuzz=1 ;;
         --fuzz=*) fuzz=1; fuzz_seconds="${arg#--fuzz=}" ;;
-        *) echo "usage: $0 [--asan|--tsan|--audit|--tidy|--fuzz[=N]] [--fast]" >&2
+        *) echo "usage: $0 [--asan|--tsan|--audit|--intsan|--tidy|--fuzz[=N]] [--fast]" >&2
            exit 2 ;;
     esac
 done
@@ -146,6 +149,7 @@ if [[ "$smoke" == 1 ]]; then
         asan-ubsan) build_dir=build-asan ;;
         tsan) build_dir=build-tsan ;;
         audit) build_dir=build-audit ;;
+        intsan) build_dir=build-intsan ;;
     esac
     echo "== fault sweep smoke (determinism) =="
     "$build_dir/bench/fault_sweep" 10 > /tmp/jaws_fault_sweep_a.txt

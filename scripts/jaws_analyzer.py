@@ -30,6 +30,25 @@ across src/{core,sched,storage,cache,field,workload,util}:
   clock-mutation       mutation of a util::VirtualClock (advance/advance_to/
                        reset) outside its owning file (src/util/sim_time.h):
                        only the event loop may move a clock.
+  raw-micros           access to SimTime's raw `.micros` tick field outside
+                       its owning file (src/util/sim_time.h): saturation
+                       safety lives in SimTime's operators, so call sites
+                       that reach around them re-open the signed-overflow UB
+                       ISSUE 9 closed. Use the typed helpers (scaled_by,
+                       minus_clamped, checked_sum) or raw_micros() at a
+                       serialization/scoring boundary with a written waiver.
+  raw-id-api           raw integer parameters named like identities (atom,
+                       node, channel, self, primary, owner, replica, and
+                       their _id/_idx/_index forms) in the public headers of
+                       src/{core,sched,storage,workload}: identity-carrying
+                       API surfaces must take util::AtomKey / util::NodeIndex
+                       / util::ChannelIndex so id spaces cannot be swapped
+                       silently. Raw coordinates (morton) and cardinalities
+                       (nodes, channels) stay plain integers.
+  id-mixing            arithmetic combining `.value()` escapes of *distinct*
+                       strong id types (e.g. AtomKey + NodeIndex): unwrapping
+                       two different id spaces into one expression is the
+                       exact mixing bug the types exist to prevent.
 
 Escape hatch (shared with the determinism lint): a line, or the line directly
 above it, carrying
@@ -121,6 +140,43 @@ TIME_OPERAND_RE = re.compile(r"\bmicros\b|\bSimTime\b")
 
 VCLOCK_DECL_RE = re.compile(r"\b(?:util::)?VirtualClock\s*&?\s+([A-Za-z_]\w*)")
 CLOCK_MUTATORS = ("advance_to", "advance", "reset")
+
+# raw-micros: the tick field is the owner file's private business.
+TIME_OWNER_FILES = {os.path.join("src", "util", "sim_time.h")}
+RAW_MICROS_RE = re.compile(r"(?:\.|->)\s*micros\b")
+
+# raw-id-api: identity-named raw-integer parameters in public headers.
+ID_API_MODULES = ("core", "sched", "storage", "workload")
+ID_PARAM_NAME_RE = re.compile(
+    r"^(?:atom|node|channel|self|primary|owner|replica)"
+    r"(?:_(?:id|idx|index))?$")
+RAW_INT_PARAM_RE = re.compile(
+    r"\b(?:const\s+)?(?:std::)?"
+    r"(?:u?int(?:8|16|32|64)_t|size_t|ptrdiff_t"
+    r"|unsigned(?:\s+(?:long\s+long|long|int|short|char))?"
+    r"|long\s+long|long|int|short)"
+    r"\s+([A-Za-z_]\w*)\b")
+# Canonical spellings libclang reports for the same raw integer types.
+RAW_INT_CANONICAL = {
+    "int", "unsigned int", "long", "unsigned long", "long long",
+    "unsigned long long", "short", "unsigned short", "char", "signed char",
+    "unsigned char",
+}
+
+# id-mixing: `.value()` escapes of distinct strong id types in one
+# arithmetic expression. Restricted to the canonical TypedId aliases so the
+# internal and libclang engines agree on exactly which types participate.
+ID_TYPE_NAMES = ("AtomKey", "NodeIndex", "ChannelIndex")
+ID_DECL_RE = re.compile(
+    r"\b(?:\w+::)*(" + "|".join(ID_TYPE_NAMES) + r")\b"
+    r"(?:\s+const)?\s*&?\s*([A-Za-z_]\w*)")
+ID_VALUE_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)(?:\.|->)value\s*\(\s*\)")
+ARITH_OP_RE = re.compile(r"(?<![+\-*/%<>=!&|^])([+\-*/%])(?![+\-*/%=>])")
+# Operand windows for id-mixing stop at statement-level boundaries only:
+# `x.value()` ends in `)`, so the expression-level boundaries used by
+# float-equality would hide every escape from its own operand window.
+ID_MIX_BOUNDARY_RE = re.compile(
+    r"[;{},?]|&&|\|\||\breturn\b|(?<![=!<>+\-*/%&|^])=(?![=])")
 
 FUNC_HEAD_RE = re.compile(
     r"\b([A-Za-z_~]\w*)\s*\(((?:[^()]|\([^()]*\))*)\)\s*"
@@ -293,6 +349,58 @@ def is_float_operand(text: str, floats: set[str]) -> bool:
     return any(ident in floats for ident in ld.IDENT_RE.findall(text))
 
 
+def in_parameter_list(code: str, pos: int) -> bool:
+    """True when `pos` sits inside a function's parameter parentheses: an
+    unmatched `(` opens before it in the current statement and that paren is
+    introduced by an identifier (the function name), not a control keyword."""
+    depth = 0
+    i = pos - 1
+    while i >= 0:
+        ch = code[i]
+        if ch == ")":
+            depth += 1
+        elif ch == "(":
+            if depth == 0:
+                break
+            depth -= 1
+        elif ch in ";{}" and depth == 0:
+            return False
+        i -= 1
+    else:
+        return False
+    j = i - 1
+    while j >= 0 and code[j] in " \t\n":
+        j -= 1
+    end = j + 1
+    while j >= 0 and (code[j].isalnum() or code[j] == "_"):
+        j -= 1
+    name = code[j + 1:end]
+    return bool(name) and name not in KEYWORDS
+
+
+def id_decl_types(code: str) -> dict[str, str]:
+    """Variable/parameter name -> strong id type, for ID_TYPE_NAMES decls."""
+    return {m.group(2): m.group(1) for m in ID_DECL_RE.finditer(code)}
+
+
+def id_types_in(text: str, decls: dict[str, str]) -> set[str]:
+    """Strong id types whose `.value()` escape appears in `text`."""
+    return {decls[m.group(1)] for m in ID_VALUE_CALL_RE.finditer(text)
+            if m.group(1) in decls}
+
+
+def id_mix_windows(code: str, start: int, end: int) -> tuple[str, str]:
+    """Left/right operand windows for id-mixing, cut at statement-level
+    boundaries (see ID_MIX_BOUNDARY_RE)."""
+    left_src = code[max(0, start - 200):start]
+    boundaries = [m.end() for m in ID_MIX_BOUNDARY_RE.finditer(left_src)]
+    left = left_src[boundaries[-1]:] if boundaries else left_src
+    right_src = code[end:end + 200]
+    m = ID_MIX_BOUNDARY_RE.search(right_src)
+    right = right_src[:m.start()] if m else right_src
+    return left, right
+
+
 def analyze_file_internal(path: str, display_path: str,
                           header_code: str | None) -> list[Violation]:
     with open(path, "r", encoding="utf-8", errors="replace") as f:
@@ -367,8 +475,50 @@ def analyze_file_internal(path: str, display_path: str,
                 "(microsecond counts overflow 32 bits in ~36 virtual minutes; "
                 "keep tick math in std::int64_t)"))
 
-    # clock-mutation outside the owning file.
+    # raw-micros: the tick field may only be touched by its owner file.
     rel = display_path.replace("/", os.sep)
+    if rel not in TIME_OWNER_FILES:
+        for m in RAW_MICROS_RE.finditer(code):
+            violations.append(Violation(
+                display_path, line_of(m.start()), "raw-micros",
+                "raw `.micros` access outside src/util/sim_time.h bypasses "
+                "SimTime's saturating operators; use the typed helpers "
+                "(scaled_by, minus_clamped, checked_sum) or raw_micros() at "
+                "a serialization boundary with an allow justification"))
+
+    # raw-id-api: identity-named raw-integer parameters in public headers.
+    if (display_path.endswith((".h", ".hpp"))
+            and module_of(display_path) in ID_API_MODULES):
+        for m in RAW_INT_PARAM_RE.finditer(code):
+            name = m.group(1)
+            if not ID_PARAM_NAME_RE.match(name):
+                continue
+            if not in_parameter_list(code, m.start()):
+                continue
+            violations.append(Violation(
+                display_path, line_of(m.start(1)), "raw-id-api",
+                f"parameter `{name}` carries an identity as a raw integer in "
+                "a public header; take util::AtomKey / util::NodeIndex / "
+                "util::ChannelIndex so id spaces cannot be swapped silently"))
+
+    # id-mixing: arithmetic over `.value()` escapes of distinct id types.
+    id_decls = id_decl_types(code)
+    if header_code is not None:
+        id_decls.update(id_decl_types(header_code))
+    if id_decls:
+        for m in ARITH_OP_RE.finditer(code):
+            left, right = id_mix_windows(code, m.start(), m.end())
+            lt = id_types_in(left, id_decls)
+            rt = id_types_in(right, id_decls)
+            if lt and rt and lt.isdisjoint(rt):
+                violations.append(Violation(
+                    display_path, line_of(m.start()), "id-mixing",
+                    f"arithmetic mixes distinct id spaces "
+                    f"({', '.join(sorted(lt))} vs {', '.join(sorted(rt))}); "
+                    "unwrapping two different strong id types into one "
+                    "expression defeats the typing"))
+
+    # clock-mutation outside the owning file.
     if rel not in CLOCK_OWNER_FILES:
         clock_names = {m.group(1) for m in VCLOCK_DECL_RE.finditer(code)}
         if header_code is not None:
@@ -554,6 +704,28 @@ def analyze_files_libclang(files: list[tuple[str, str]], compdb_dir: str | None,
         for lam in handler_lambdas:
             scan_blocking(lam, visited)
 
+        def id_keys_of(node) -> set[str]:
+            """Strong-id spaces unwrapped via `.value()` inside `node`.
+            Keyed by TypedId tag (real tree) or plain type name (fixtures)."""
+            keys: set[str] = set()
+            for s in [node] + list(walk(node)):
+                if s.kind != CK.CALL_EXPR or s.spelling != "value":
+                    continue
+                kids = list(s.get_children())
+                if not kids:
+                    continue
+                base_kids = list(kids[0].get_children())
+                base = base_kids[0] if base_kids else kids[0]
+                t = canonical(base.type)
+                tag = re.search(r"TypedId<\s*([^,>]+)", t)
+                if tag:
+                    keys.add(tag.group(1).strip().split("::")[-1])
+                else:
+                    short = t.replace("const ", "").strip().split("::")[-1]
+                    if short in ID_TYPE_NAMES:
+                        keys.add(short)
+            return keys
+
         for c in walk(tu.cursor):
             if not in_this_file(c, path):
                 continue
@@ -567,25 +739,32 @@ def analyze_files_libclang(files: list[tuple[str, str]], compdb_dir: str | None,
                              "iteration over an unordered container (canonical "
                              f"type `{canonical(range_expr.type)[:80]}`); hash "
                              "order is not deterministic")
-            # ---- float-equality ----
-            elif (c.kind == CK.BINARY_OPERATOR
-                  and module_of(display_path) in FLOAT_EQ_MODULES):
+            # ---- float-equality / id-mixing (both live on binary ops) ----
+            elif c.kind == CK.BINARY_OPERATOR:
                 kids = list(c.get_children())
                 if len(kids) == 2:
-                    toks = {t.spelling for t in c.get_tokens()}
-                    if ("==" in toks or "!=" in toks) and any(
-                            canonical(k.type) in FLOATS for k in kids):
-                        # Only flag when the operator between the operands is
-                        # ==/!= (token set also contains operand tokens).
-                        lhs_end = kids[0].extent.end.offset
-                        rhs_start = kids[1].extent.start.offset
-                        mid = [t.spelling for t in c.get_tokens()
-                               if lhs_end <= t.extent.start.offset < rhs_start]
-                        if "==" in mid or "!=" in mid:
-                            flag(c, "float-equality",
-                                 "floating-point ==/!= in a scheduling/decision "
-                                 "module; compare with a tolerance or prove the "
-                                 "operands identical in an allow justification")
+                    # The operator token is the one between the operands (the
+                    # cursor's token set also contains operand tokens).
+                    lhs_end = kids[0].extent.end.offset
+                    rhs_start = kids[1].extent.start.offset
+                    mid = [t.spelling for t in c.get_tokens()
+                           if lhs_end <= t.extent.start.offset < rhs_start]
+                    if (module_of(display_path) in FLOAT_EQ_MODULES
+                            and ("==" in mid or "!=" in mid)
+                            and any(canonical(k.type) in FLOATS for k in kids)):
+                        flag(c, "float-equality",
+                             "floating-point ==/!= in a scheduling/decision "
+                             "module; compare with a tolerance or prove the "
+                             "operands identical in an allow justification")
+                    if {"+", "-", "*", "/", "%"} & set(mid):
+                        lt, rt = id_keys_of(kids[0]), id_keys_of(kids[1])
+                        if lt and rt and lt.isdisjoint(rt):
+                            flag(c, "id-mixing",
+                                 "arithmetic mixes distinct id spaces "
+                                 f"({', '.join(sorted(lt))} vs "
+                                 f"{', '.join(sorted(rt))}); unwrapping two "
+                                 "different strong id types into one "
+                                 "expression defeats the typing")
             # ---- narrowing-cast ----
             elif c.kind in (CK.CXX_STATIC_CAST_EXPR, CK.CSTYLE_CAST_EXPR):
                 target = canonical(c.type)
@@ -603,6 +782,30 @@ def analyze_files_libclang(files: list[tuple[str, str]], compdb_dir: str | None,
                             flag(c, "narrowing-cast",
                                  f"cast to `{target}` narrows SimTime/tick "
                                  "arithmetic; keep tick math in std::int64_t")
+            # ---- raw-micros ----
+            elif c.kind == CK.MEMBER_REF_EXPR and c.spelling == "micros":
+                ref = c.referenced
+                parent = ref.semantic_parent if ref is not None else None
+                if (parent is not None and parent.spelling == "SimTime"
+                        and display_path.replace("/", os.sep)
+                        not in TIME_OWNER_FILES):
+                    flag(c, "raw-micros",
+                         "raw `.micros` access outside src/util/sim_time.h "
+                         "bypasses SimTime's saturating operators; use the "
+                         "typed helpers or raw_micros() at a serialization "
+                         "boundary with an allow justification")
+            # ---- raw-id-api ----
+            elif (c.kind == CK.PARM_DECL
+                  and display_path.endswith((".h", ".hpp"))
+                  and module_of(display_path) in ID_API_MODULES
+                  and ID_PARAM_NAME_RE.match(c.spelling or "")):
+                if (canonical(c.type).replace("const ", "").strip()
+                        in RAW_INT_CANONICAL):
+                    flag(c, "raw-id-api",
+                         f"parameter `{c.spelling}` carries an identity as a "
+                         "raw integer in a public header; take util::AtomKey "
+                         "/ util::NodeIndex / util::ChannelIndex so id "
+                         "spaces cannot be swapped silently")
             # ---- clock-mutation ----
             elif c.kind == CK.CALL_EXPR and c.spelling in CLOCK_MUTATORS:
                 ref = c.referenced
@@ -709,6 +912,9 @@ template <class T> struct vector {
 };
 }  // namespace std
 struct SimTime { long long micros; };
+struct AtomKey { unsigned long long v; unsigned long long value() const; };
+struct NodeIndex { unsigned v; unsigned value() const; };
+struct ChannelIndex { unsigned long v; unsigned long value() const; };
 struct VirtualClock {
     void advance(SimTime);
     void advance_to(SimTime);
@@ -799,13 +1005,50 @@ bool f(double cached, double derived) {
 }
 """, []),
     ("bad_narrow_cast.cpp", FIXTURE_PRELUDE + """
+// jaws-lint: allow(raw-micros) -- fixture: exercising the cast rule alone.
 int f(SimTime t) { return static_cast<int>(t.micros); }
+// jaws-lint: allow(raw-micros) -- fixture: exercising the cast rule alone.
 unsigned g(SimTime t) { return static_cast<unsigned int>(t.micros / 1000); }
 """, ["narrowing-cast", "narrowing-cast"]),
     ("ok_wide_cast.cpp", FIXTURE_PRELUDE + """
+// jaws-lint: allow(raw-micros) -- fixture: exercising the cast rule alone.
 long long f(SimTime t) { return static_cast<long long>(t.micros); }
+// jaws-lint: allow(raw-micros) -- fixture: exercising the cast rule alone.
 double g(SimTime t) { return static_cast<double>(t.micros); }
 int h(int count) { return static_cast<int>(count + 1); }
+""", []),
+    ("bad_raw_micros.cpp", FIXTURE_PRELUDE + """
+long long half_ticks(SimTime t) { return t.micros / 2; }
+""", ["raw-micros"]),
+    ("ok_raw_micros_waived.cpp", FIXTURE_PRELUDE + """
+long long serialize(SimTime t) {
+    // jaws-lint: allow(raw-micros) -- fixture: serialization boundary.
+    return t.micros;
+}
+""", []),
+    ("bad_raw_id_api.h", FIXTURE_PRELUDE + """
+struct Router {
+    void route(unsigned node,
+               int channel);
+    unsigned long owner_of(unsigned long long atom) const;
+};
+""", ["raw-id-api", "raw-id-api", "raw-id-api"]),
+    ("ok_typed_id_api.h", FIXTURE_PRELUDE + """
+struct Router {
+    void route(NodeIndex node, AtomKey atom);
+    NodeIndex owner_of(unsigned long long morton, unsigned long nodes) const;
+};
+""", []),
+    ("bad_id_mixing.cpp", FIXTURE_PRELUDE + """
+unsigned long long fold(AtomKey atom, NodeIndex node) {
+    return atom.value() + node.value();
+}
+""", ["id-mixing"]),
+    ("ok_id_same_space.cpp", FIXTURE_PRELUDE + """
+unsigned ring_distance(NodeIndex a, NodeIndex b, AtomKey atom) {
+    unsigned long long morton = atom.value() * 2;
+    return a.value() - b.value() + static_cast<unsigned>(morton);
+}
 """, []),
     ("bad_clock_mutation.cpp", FIXTURE_PRELUDE + """
 void f(VirtualClock& clock, SimTime t) { clock.advance(t); }
@@ -819,9 +1062,11 @@ SimTime f(const VirtualClock& clock, Cursor& cur, SimTime t) {
 """, []),
 ]
 
-# Mutating a VirtualClock inside its owning file is the one sanctioned site.
+# Mutating a VirtualClock — and touching the raw `.micros` tick field —
+# inside the owning file are the sanctioned sites.
 OWNER_FIXTURE = ("sim_time.h", FIXTURE_PRELUDE + """
 inline void tick(VirtualClock& clock, SimTime t) { clock.advance(t); }
+inline long long ticks_of(SimTime t) { return t.micros; }
 """, [])
 
 # Fixtures written into other analyzed modules, pinning FLOAT_EQ_MODULES

@@ -335,6 +335,16 @@ unsigned f(unsigned seed) {
 }
 """,
      []),
+    ("ok_multi_rule_allow.cpp",
+     """// One directive may list several hyphenated rules (the analyzer's
+// raw-micros / raw-id-api / id-mixing waivers share this parser).
+#include <chrono>
+long f() {
+    // jaws-lint: allow(wall-clock, raw-micros) -- fixture: list syntax.
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+""",
+     []),
     ("bad_unordered.cpp",
      """#include <unordered_map>
 int f() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -12,6 +13,7 @@
 
 #include "core/engine.h"
 #include "storage/replica_router.h"
+#include "util/contracts.h"
 #include "util/mutex.h"
 #include "util/stats.h"
 #include "util/thread_annotations.h"
@@ -22,28 +24,32 @@ namespace jaws::core {
 void ClusterConfig::validate() const {
     if (nodes == 0)
         throw std::invalid_argument("ClusterConfig::validate: nodes must be positive");
+    if (nodes > std::numeric_limits<util::NodeIndex::rep>::max())
+        throw std::invalid_argument(
+            "ClusterConfig::validate: nodes must fit util::NodeIndex (32-bit), got " +
+            std::to_string(nodes));
     if (replication == 0 || replication > nodes)
         throw std::invalid_argument(
             "ClusterConfig::validate: replication must lie in [1, nodes], got " +
             std::to_string(replication) + " with " + std::to_string(nodes) + " nodes");
     std::vector<bool> downed(nodes, false);
     for (const storage::NodeDownEvent& ev : node.faults.node_down) {
-        if (ev.node >= nodes)
+        if (ev.node.value() >= nodes)
             throw std::invalid_argument(
                 "ClusterConfig::validate: node.faults.node_down names node " +
-                std::to_string(ev.node) + " but the cluster has only " +
+                std::to_string(ev.node.value()) + " but the cluster has only " +
                 std::to_string(nodes) + " nodes");
-        if (ev.at.micros <= 0)
+        if (ev.at <= util::SimTime::zero())
             throw std::invalid_argument(
                 "ClusterConfig::validate: node.faults.node_down for node " +
-                std::to_string(ev.node) +
+                std::to_string(ev.node.value()) +
                 " fires at tick 0 — a node that was never up cannot die");
-        if (downed[ev.node])
+        if (downed[ev.node.value()])
             throw std::invalid_argument(
                 "ClusterConfig::validate: duplicate node.faults.node_down events for "
                 "node " +
-                std::to_string(ev.node) + " — a node dies at most once per run");
-        downed[ev.node] = true;
+                std::to_string(ev.node.value()) + " — a node dies at most once per run");
+        downed[ev.node.value()] = true;
     }
     node.validate();
 }
@@ -52,11 +58,18 @@ TurbulenceCluster::TurbulenceCluster(const ClusterConfig& config) : config_(conf
     config_.validate();
 }
 
-std::size_t TurbulenceCluster::node_of(std::uint64_t morton, std::uint64_t atoms_per_step,
-                                       std::size_t nodes) {
-    if (nodes <= 1) return 0;
+util::NodeIndex TurbulenceCluster::node_of(std::uint64_t morton,
+                                           std::uint64_t atoms_per_step,
+                                           std::size_t nodes) {
+    if (nodes <= 1) return util::NodeIndex{0};
     const std::uint64_t per_node = (atoms_per_step + nodes - 1) / nodes;
-    return std::min<std::uint64_t>(morton / per_node, nodes - 1);
+    const std::uint64_t idx = std::min<std::uint64_t>(morton / per_node, nodes - 1);
+    // validate() caps cluster node counts at the NodeIndex range; direct
+    // static callers with a wider count would truncate here, so trap in
+    // audit builds rather than wrap silently.
+    JAWS_INVARIANT(idx <= std::numeric_limits<util::NodeIndex::rep>::max(),
+                   "node_of: node index exceeds NodeIndex's 32-bit range");
+    return util::NodeIndex{static_cast<std::uint32_t>(idx)};
 }
 
 std::vector<workload::Job> TurbulenceCluster::project(const workload::Job& job) const {
@@ -72,7 +85,7 @@ std::vector<workload::Job> TurbulenceCluster::project(const workload::Job& job) 
         // Split the footprint by owning node.
         std::vector<std::vector<workload::AtomRequest>> split(config_.nodes);
         for (const auto& req : q.footprint)
-            split[node_of(req.atom.morton, aps, config_.nodes)].push_back(req);
+            split[node_of(req.atom.morton, aps, config_.nodes).value()].push_back(req);
         for (std::size_t n = 0; n < config_.nodes; ++n) {
             if (split[n].empty()) continue;
             workload::Query part = q;
@@ -82,7 +95,7 @@ std::vector<workload::Job> TurbulenceCluster::project(const workload::Job& job) 
             part.positions.clear();
             for (const auto& p : q.positions)
                 if (node_of(config_.node.grid.atom_morton_of(p), aps,
-                            config_.nodes) == n)
+                            config_.nodes).value() == n)
                     part.positions.push_back(p);
             part.seq_in_job = static_cast<std::uint32_t>(projected[n].queries.size());
             projected[n].queries.push_back(std::move(part));
@@ -232,11 +245,11 @@ class Aggregator {
 };
 
 /// Earliest death per node (cluster-level faults ride in the node template's
-/// FaultSpec; INT64_MAX = the node survives the run).
+/// FaultSpec; SimTime::max() = the node survives the run).
 std::vector<util::SimTime> death_schedule(const ClusterConfig& config) {
-    std::vector<util::SimTime> death(config.nodes, util::SimTime{INT64_MAX});
+    std::vector<util::SimTime> death(config.nodes, util::SimTime::max());
     for (const storage::NodeDownEvent& ev : config.node.faults.node_down)
-        if (ev.at < death[ev.node]) death[ev.node] = ev.at;
+        if (ev.at < death[ev.node.value()]) death[ev.node.value()] = ev.at;
     return death;
 }
 
@@ -281,14 +294,14 @@ class UnifiedKernel final : public storage::ReplicaRouter {
 
         routed_.resize(config_.nodes);
         arrivals_remaining_.assign(config_.nodes, 0);
-        first_injection_.assign(config_.nodes, util::SimTime{INT64_MAX});
+        first_injection_.assign(config_.nodes, util::SimTime::max());
         failed_over_.assign(config_.nodes, false);
         engines_.reserve(config_.nodes);
         for (std::size_t n = 0; n < config_.nodes; ++n) {
             EngineConfig cfg = node_template_;
             cfg.halt_at = death_[n];
             engines_.push_back(std::make_unique<Engine>(
-                cfg, events_, static_cast<std::uint32_t>(n)));
+                cfg, events_, util::NodeIndex{static_cast<std::uint32_t>(n)}));
             engines_.back()->set_replica_router(this);
         }
         for (std::size_t n = 0; n < config_.nodes; ++n) {
@@ -310,8 +323,10 @@ class UnifiedKernel final : public storage::ReplicaRouter {
     }
 
     // --- storage::ReplicaRouter -----------------------------------------
-    storage::ReadRoute route_read(std::uint32_t self, std::uint64_t atom) override {
-        const std::size_t owner = TurbulenceCluster::node_of(atom, aps_, config_.nodes);
+    storage::ReadRoute route_read(util::NodeIndex self,
+                                  const storage::AtomId& atom) override {
+        const std::size_t owner =
+            TurbulenceCluster::node_of(atom.morton, aps_, config_.nodes).value();
         if (death_[owner] > events_.now()) {
             // Owner alive: keep the read local unless a chain member is
             // meaningfully shallower. Morton-adjacent reads on the owner's
@@ -326,27 +341,28 @@ class UnifiedKernel final : public storage::ReplicaRouter {
             return route_to(owner);
         }
         const std::size_t best = pick_replica(owner, config_.nodes);
-        return route_to(best != config_.nodes ? best : self);
+        return route_to(best != config_.nodes ? best : self.value());
     }
 
-    storage::ReadRoute route_hedge(std::uint32_t self, std::uint64_t atom,
-                                   std::uint32_t primary) override {
+    storage::ReadRoute route_hedge(util::NodeIndex self, const storage::AtomId& atom,
+                                   util::NodeIndex primary) override {
         (void)self;
-        const std::size_t owner = TurbulenceCluster::node_of(atom, aps_, config_.nodes);
+        const std::size_t owner =
+            TurbulenceCluster::node_of(atom.morton, aps_, config_.nodes).value();
         // Prefer independent hardware: any surviving replica that is not the
         // primary; with none, the hedge rides another channel of the
         // primary's own disk (single-node hedging, PR 6).
-        const std::size_t best = pick_replica(owner, primary);
-        return route_to(best != config_.nodes ? best : primary);
+        const std::size_t best = pick_replica(owner, primary.value());
+        return route_to(best != config_.nodes ? best : primary.value());
     }
 
-    std::size_t read_concurrency(std::uint32_t self) const override {
+    std::size_t read_concurrency(util::NodeIndex self) const override {
         // Surviving members of self's own range's chain — the disks a read
         // for an atom this node owns may land on right now.
         const util::SimTime now = events_.now();
         std::size_t alive = 0;
         for (std::size_t r = 0; r < config_.replication; ++r)
-            if (death_[(self + r) % config_.nodes] > now) ++alive;
+            if (death_[(self.value() + r) % config_.nodes] > now) ++alive;
         return alive > 0 ? alive : 1;
     }
 
@@ -379,7 +395,7 @@ class UnifiedKernel final : public storage::ReplicaRouter {
     storage::ReadRoute route_to(std::size_t node) {
         Engine& e = *engines_[node];
         return storage::ReadRoute{&e.store(), &e.disk_resource(),
-                                  static_cast<std::uint32_t>(node)};
+                                  util::NodeIndex{static_cast<std::uint32_t>(node)}};
     }
 
     /// Give a re-routed job part fresh job/query ids: the survivor may hold
@@ -421,7 +437,7 @@ class UnifiedKernel final : public storage::ReplicaRouter {
                 events_.schedule(job.arrival, Engine::kPriArrival, cluster_src_,
                                  [this, tgt, part] {
                                      --arrivals_remaining_[tgt];
-                                     if (first_injection_[tgt].micros == INT64_MAX)
+                                     if (first_injection_[tgt] == util::SimTime::max())
                                          first_injection_[tgt] = events_.now();
                                      engines_[tgt]->inject_job(*part);
                                  });
@@ -504,7 +520,7 @@ class UnifiedKernel final : public storage::ReplicaRouter {
 
     ClusterReport harvest() {
         for (std::size_t d = 0; d < config_.nodes; ++d) {
-            if (death_[d].micros != INT64_MAX) ++report_.dead_nodes;
+            if (death_[d] != util::SimTime::max()) ++report_.dead_nodes;
             if (failed_over_[d]) ++report_.failovers;
         }
         Aggregator agg(report_);
@@ -521,7 +537,7 @@ class UnifiedKernel final : public storage::ReplicaRouter {
         // cluster's, exactly as on the legacy path.
         if (report_.failovers > 0 || report_.rerouted_arrivals > 0)
             for (std::size_t n = 0; n < config_.nodes; ++n)
-                if (first_injection_[n].micros != INT64_MAX)
+                if (first_injection_[n] != util::SimTime::max())
                     report_.makespan =
                         std::max(report_.makespan, first_injection_[n] +
                                                        report_.per_node[n].makespan -
@@ -541,7 +557,7 @@ class UnifiedKernel final : public storage::ReplicaRouter {
         std::map<std::int64_t, std::size_t> contributors;
         for (const RunReport& r : report_.per_node)
             for (const TimelinePoint& tp : r.timeline) {
-                TimelinePoint& m = merged[tp.window_end.micros];
+                TimelinePoint& m = merged[tp.window_end.raw_micros()];
                 m.window_end = tp.window_end;
                 m.completions += tp.completions;
                 m.mean_response_ms +=
@@ -552,7 +568,7 @@ class UnifiedKernel final : public storage::ReplicaRouter {
                 m.disk_utilization += tp.disk_utilization;
                 m.cpu_utilization += tp.cpu_utilization;
                 m.overlap_fraction += tp.overlap_fraction;
-                ++contributors[tp.window_end.micros];
+                ++contributors[tp.window_end.raw_micros()];
             }
         report_.timeline.reserve(merged.size());
         for (auto& [micros, m] : merged) {
@@ -659,7 +675,7 @@ ClusterReport TurbulenceCluster::run_legacy(const workload::Workload& workload) 
     const util::SimTime global_start =
         workload.jobs.empty() ? util::SimTime::zero() : workload.jobs.front().arrival;
     for (std::size_t d = 0; d < config_.nodes; ++d) {
-        if (death[d].micros == INT64_MAX) continue;
+        if (death[d] == util::SimTime::max()) continue;
         ++report.dead_nodes;
         const workload::Workload& left = leftovers[d];
         if (left.jobs.empty()) continue;  // died with nothing outstanding
@@ -669,7 +685,7 @@ ClusterReport TurbulenceCluster::run_legacy(const workload::Workload& workload) 
         std::size_t replica = config_.nodes;
         for (std::size_t r = 1; r < config_.replication; ++r) {
             const std::size_t cand = (d + r) % config_.nodes;
-            if (death[cand].micros == INT64_MAX) {
+            if (death[cand] == util::SimTime::max()) {
                 replica = cand;
                 break;
             }

@@ -42,6 +42,7 @@
 
 #include "core/config.h"
 #include "core/metrics.h"
+#include "util/typed_id.h"
 #include "workload/job.h"
 
 namespace jaws::core {
@@ -61,7 +62,8 @@ struct ClusterConfig {
     std::size_t replication = 1;
     ClusterMode mode = ClusterMode::kUnified;
 
-    /// Reject nonsensical cluster configurations (zero nodes, replication
+    /// Reject nonsensical cluster configurations (zero nodes, node counts
+    /// beyond util::NodeIndex's 32-bit range, replication
     /// outside [1, nodes], node-down events naming nonexistent nodes, more
     /// than one node-down event for the same node, or a node-down at tick 0
     /// — a node that was never up) with a descriptive std::invalid_argument
@@ -131,8 +133,13 @@ class TurbulenceCluster {
 
     /// Node owning the atom with Morton code `morton` under `atoms_per_step`
     /// atoms per time step split into `nodes` contiguous Morton ranges.
-    static std::size_t node_of(std::uint64_t morton, std::uint64_t atoms_per_step,
-                               std::size_t nodes);
+    /// `morton` is a spatial coordinate, not an identity — hence the raw
+    /// integer; the result is a strong NodeIndex (callers must not do
+    /// arithmetic on it). `nodes` must fit util::NodeIndex (validate()
+    /// enforces this for cluster configs).
+    static util::NodeIndex node_of(std::uint64_t morton,
+                                   std::uint64_t atoms_per_step,
+                                   std::size_t nodes);
 
     /// Project one job onto every node it touches: element n of the result
     /// holds the queries whose footprint atoms node n owns (queries keep

@@ -202,10 +202,10 @@ struct EngineConfig {
     /// runs.
     util::TiePerturbation tie_perturbation;
 
-    /// Virtual time at which this node dies mid-run (INT64_MAX = never).
+    /// Virtual time at which this node dies mid-run (SimTime::max() = never).
     /// Set by TurbulenceCluster from FaultSpec::node_down; a halted run
     /// reports partial completion instead of throwing.
-    util::SimTime halt_at{INT64_MAX};
+    util::SimTime halt_at = util::SimTime::max();
 
     /// Reject nonsensical configurations (zero-sized grid or cache,
     /// atom_side not dividing voxels_per_side, negative costs, out-of-range

@@ -41,14 +41,15 @@ std::uint64_t fold_samples(std::uint64_t h,
 }
 }  // namespace
 
-Engine::Engine(const EngineConfig& config) : Engine(config, nullptr, 0) {}
+Engine::Engine(const EngineConfig& config)
+    : Engine(config, nullptr, util::NodeIndex{0}) {}
 
 Engine::Engine(const EngineConfig& config, util::EventQueue& events,
-               std::uint32_t node_id)
+               util::NodeIndex node_id)
     : Engine(config, &events, node_id) {}
 
 Engine::Engine(const EngineConfig& config, util::EventQueue* shared_events,
-               std::uint32_t node_id)
+               util::NodeIndex node_id)
     : config_(validated(config)),
       owned_events_(shared_events != nullptr ? nullptr
                                              : std::make_unique<util::EventQueue>()),
@@ -58,8 +59,8 @@ Engine::Engine(const EngineConfig& config, util::EventQueue* shared_events,
                                     config.io_depth, config.materialize_data,
                                     config.faults}),
       db_(config.grid, config.compute),
-      disk_res_(events_, config.io_depth, kPriService, node_id),
-      cpu_res_(events_, config.compute_workers, kPriService, node_id),
+      disk_res_(events_, config.io_depth, kPriService, node_id.value()),
+      cpu_res_(events_, config.compute_workers, kPriService, node_id.value()),
       read_ewma_(config.hedge.ewma_alpha) {
     // A privately owned queue takes the configured tie-break perturbation
     // (a shared queue is perturbed once by its owner, the cluster kernel).
@@ -143,7 +144,7 @@ void Engine::push_visibility(util::SimTime at, workload::QueryId id) {
     // admission pass of the dispatch event that is (or will be) scheduled for
     // this instant.
     if (at > events_.now())
-        events_.schedule(at, kPriVisibility, node_id_, [this] {
+        events_.schedule(at, kPriVisibility, node_id_.value(), [this] {
             if (!halted_ && batch_ == nullptr) ensure_dispatch();
         });
 }
@@ -208,7 +209,7 @@ void Engine::admit_due() {
 void Engine::ensure_dispatch() {
     if (dispatch_pending_ || halted_) return;
     dispatch_pending_ = true;
-    events_.schedule(events_.now(), kPriDispatch, node_id_, [this] {
+    events_.schedule(events_.now(), kPriDispatch, node_id_.value(), [this] {
         dispatch_pending_ = false;
         on_dispatch();
     });
@@ -246,7 +247,7 @@ void Engine::start_batch(std::vector<sched::BatchItem> items) {
     // pipeline starts issuing items.
     events_.schedule(
         events_.now() + util::SimTime::from_millis(config_.dispatch_overhead_ms),
-        kPriService, node_id_, [this] { issue_more(); });
+        kPriService, node_id_.value(), [this] { issue_more(); });
 }
 
 void Engine::issue_more() {
@@ -286,7 +287,7 @@ void Engine::submit_demand_read(std::size_t idx) {
     // the shallowest modeled disk queue. Standalone engines serve locally —
     // the exact pre-router event sequence.
     it.read_route = router_ != nullptr
-                        ? router_->route_read(node_id_, it.item.atom.morton)
+                        ? router_->route_read(node_id_, it.item.atom)
                         : self_route();
     if (it.read_route.node != node_id_) ++replica_reads_;
     util::SimResource::Job job;
@@ -294,7 +295,7 @@ void Engine::submit_demand_read(std::size_t idx) {
     job.preemptible = false;
     job.on_start = [this, idx](std::size_t channel) {
         ItemRun& run = batch_->items[idx];
-        run.read = run.read_route.store->read(run.item.atom, channel);
+        run.read = run.read_route.store->read(run.item.atom, util::ChannelIndex{channel});
         return run.read.io_cost;
     };
     job.on_complete = [this, idx](std::size_t) { demand_read_done(idx); };
@@ -354,7 +355,7 @@ void Engine::demand_read_done(std::size_t idx) {
         ++read_retries_;
         ++it.attempt;
         it.retry_event = events_.schedule(
-            events_.now() + backoff, kPriService, node_id_, [this, idx] {
+            events_.now() + backoff, kPriService, node_id_.value(), [this, idx] {
                 batch_->items[idx].retry_event = 0;
                 submit_demand_read(idx);
             });
@@ -389,7 +390,7 @@ void Engine::arm_hedge_trigger(std::size_t idx) {
     // id sequence — and therefore every golden report — is untouched.
     if (!config_.hedge.enabled) return;
     batch_->items[idx].hedge_trigger = events_.schedule(
-        events_.now() + hedge_trigger_delay(), kPriService, node_id_, [this, idx] {
+        events_.now() + hedge_trigger_delay(), kPriService, node_id_.value(), [this, idx] {
             batch_->items[idx].hedge_trigger = 0;
             maybe_issue_hedge(idx);
         });
@@ -421,7 +422,7 @@ void Engine::maybe_issue_hedge(std::size_t idx) {
     // disk, as in single-node hedging.
     it.hedge_route =
         router_ != nullptr
-            ? router_->route_hedge(node_id_, it.item.atom.morton, it.read_route.node)
+            ? router_->route_hedge(node_id_, it.item.atom, it.read_route.node)
             : self_route();
     if (it.hedge_route.node != node_id_) ++replica_reads_;
     util::SimResource::Job job;
@@ -429,7 +430,7 @@ void Engine::maybe_issue_hedge(std::size_t idx) {
     job.preemptible = false;
     job.on_start = [this, idx](std::size_t channel) {
         ItemRun& run = batch_->items[idx];
-        run.hedge_read = run.hedge_route.store->read(run.item.atom, channel);
+        run.hedge_read = run.hedge_route.store->read(run.item.atom, util::ChannelIndex{channel});
         return run.hedge_read.io_cost;
     };
     job.on_complete = [this, idx](std::size_t) { hedge_done(idx); };
@@ -500,9 +501,8 @@ void Engine::refund_read_tail(const storage::ReadRoute& route,
     // keeping the two disjoint after mixed cancels. The refund goes to the
     // disk that rendered the read — a replica's, when the route crossed
     // nodes.
-    const util::SimTime fault_part{
-        std::min(remaining.micros, read.fault_delay.micros)};
-    if (fault_part.micros > 0) route.store->disk().refund_delay(fault_part);
+    const util::SimTime fault_part = std::min(remaining, read.fault_delay);
+    if (fault_part > util::SimTime::zero()) route.store->disk().refund_delay(fault_part);
     const util::SimTime service_part = remaining - fault_part;
     route.store->disk().cancel_tail(service_part);
 }
@@ -562,7 +562,7 @@ void Engine::proceed_supports(std::size_t idx) {
     // matches the pre-kernel engine's per-support clock advances exactly.
     const auto per_read = util::SimTime::from_millis(config_.support_read_fraction *
                                                      config_.estimates.t_b_ms);
-    const util::SimTime duration{per_read.micros * cold};
+    const util::SimTime duration = per_read.scaled_by(cold);
     util::SimResource::Job job;
     job.priority = 0;
     job.preemptible = false;
@@ -794,7 +794,7 @@ void Engine::try_issue_prefetch() {
         job.priority = 1;  // behind any demand read
         job.preemptible = true;
         job.on_start = [this, atom](std::size_t channel) {
-            prefetch_read_[channel] = store_.read(atom, channel);
+            prefetch_read_[channel] = store_.read(atom, util::ChannelIndex{channel});
             return prefetch_read_[channel].io_cost;
         };
         job.on_complete = [this, atom](std::size_t channel) {
@@ -826,7 +826,7 @@ void Engine::account_tick() { account_to(events_.now()); }
 
 void Engine::account_to(util::SimTime now) {
     const util::SimTime dt = now - last_account_;
-    if (dt.micros <= 0) return;
+    if (dt <= util::SimTime::zero()) return;
     last_account_ = now;
     const bool disk_busy = disk_res_.busy_channels() > 0;
     const bool cpu_busy = cpu_res_.busy_channels() > 0;
@@ -909,8 +909,8 @@ void Engine::start_clock(util::SimTime t) {
 void Engine::arm_halt() {
     // Node death (cluster failover): an active batch is allowed to complete,
     // but nothing further is admitted or dispatched.
-    if (config_.halt_at.micros != INT64_MAX)
-        events_.schedule(config_.halt_at, kPriHalt, node_id_, [this] {
+    if (config_.halt_at != util::SimTime::max())
+        events_.schedule(config_.halt_at, kPriHalt, node_id_.value(), [this] {
             halted_ = true;
             maybe_halt_drained();
         });
@@ -969,7 +969,7 @@ RunReport Engine::run(const workload::Workload& workload) {
     start_clock(start);
 
     for (const workload::Job& job : workload.jobs)
-        events_.schedule(job.arrival, kPriArrival, node_id_, [this, &job] {
+        events_.schedule(job.arrival, kPriArrival, node_id_.value(), [this, &job] {
             due_jobs_.push_back(&job);
             if (!halted_ && batch_ == nullptr) ensure_dispatch();
         });

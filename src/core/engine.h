@@ -61,6 +61,7 @@
 #include "storage/replica_router.h"
 #include "util/event_queue.h"
 #include "util/sim_time.h"
+#include "util/typed_id.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 #include "workload/job.h"
@@ -90,7 +91,7 @@ class Engine {
     /// runs through the begin_shared()/inject_job()/finish() lifecycle
     /// driven by the cluster kernel instead of run().
     Engine(const EngineConfig& config, util::EventQueue& events,
-           std::uint32_t node_id);
+           util::NodeIndex node_id);
 
     /// Execute `workload` to completion and report. The workload must have
     /// jobs sorted by arrival time (the generator guarantees it). May be
@@ -137,7 +138,7 @@ class Engine {
 
     std::size_t completed() const noexcept { return completed_; }
     std::size_t expected() const noexcept { return expected_; }
-    std::uint32_t node_id() const noexcept { return node_id_; }
+    util::NodeIndex node_id() const noexcept { return node_id_; }
     /// Modeled disk-queue depth (in-service + waiting), the router's
     /// shallowest-replica metric.
     std::size_t disk_load() const noexcept {
@@ -157,7 +158,7 @@ class Engine {
 
   private:
     Engine(const EngineConfig& config, util::EventQueue* shared_events,
-           std::uint32_t node_id);
+           util::NodeIndex node_id);
 
     /// Oracle that forwards to the scheduler's workload manager once both
     /// exist (breaks the cache <-> scheduler construction cycle).
@@ -348,7 +349,7 @@ class Engine {
     /// destroyed last.
     std::unique_ptr<util::EventQueue> owned_events_;
     util::EventQueue& events_;
-    std::uint32_t node_id_ = 0;
+    util::NodeIndex node_id_;
     storage::ReplicaRouter* router_ = nullptr;
     storage::AtomStore store_;
     storage::DatabaseNode db_;

@@ -55,10 +55,10 @@ void WorkloadManager::enqueue(const SubQuery& sub) {
     if (!q.items.empty()) index_erase(sub.atom, q);
     if (q.items.empty()) q.oldest = sub.enqueue_time;
     if (sub.deadline < q.min_deadline) {
-        if (q.min_deadline.micros != INT64_MAX)
-            deadlines_.erase({q.min_deadline.micros, sub.atom.key()});
+        if (q.min_deadline != util::SimTime::max())
+            deadlines_.erase({q.min_deadline, sub.atom.key()});
         q.min_deadline = sub.deadline;
-        deadlines_.emplace(q.min_deadline.micros, sub.atom.key());
+        deadlines_.emplace(q.min_deadline, sub.atom.key());
     }
     q.items.push_back(sub);
     q.positions += sub.positions;
@@ -72,8 +72,8 @@ std::vector<SubQuery> WorkloadManager::drain_atom(const storage::AtomId& atom) {
     const auto it = queues_.find(atom);
     if (it == queues_.end()) return {};
     index_erase(atom, it->second);
-    if (it->second.min_deadline.micros != INT64_MAX)
-        deadlines_.erase({it->second.min_deadline.micros, atom.key()});
+    if (it->second.min_deadline != util::SimTime::max())
+        deadlines_.erase({it->second.min_deadline, atom.key()});
     std::vector<SubQuery> items = std::move(it->second.items);
     total_positions_ -= it->second.positions;
     total_subqueries_ -= items.size();
@@ -133,9 +133,8 @@ std::vector<storage::AtomId> WorkloadManager::pick_two_level_batch(std::size_t k
 std::optional<std::pair<storage::AtomId, util::SimTime>>
 WorkloadManager::earliest_deadline_atom() const {
     if (deadlines_.empty()) return std::nullopt;
-    const auto& [deadline_us, atom_key] = *deadlines_.begin();
-    return std::make_pair(storage::AtomId::from_key(atom_key),
-                          util::SimTime::from_micros(deadline_us));
+    const auto& [deadline, atom_key] = *deadlines_.begin();
+    return std::make_pair(storage::AtomId::from_key(atom_key), deadline);
 }
 
 double WorkloadManager::atom_utility(const storage::AtomId& atom) const {
@@ -202,7 +201,7 @@ bool WorkloadManager::audit() const {
         std::uint64_t queue_positions = 0;
         util::SimTime oldest = q.items.empty() ? util::SimTime::zero()
                                                : q.items.front().enqueue_time;
-        util::SimTime min_deadline{INT64_MAX};
+        util::SimTime min_deadline = util::SimTime::max();
         for (const SubQuery& sub : q.items) {
             queue_positions += sub.positions;
             oldest = std::min(oldest, sub.enqueue_time);
@@ -229,9 +228,9 @@ bool WorkloadManager::audit() const {
         sums.first += q.utility;
         ++sums.second;
         step_key_sums[atom.timestep] += q.key;
-        if (min_deadline.micros != INT64_MAX) {
+        if (min_deadline != util::SimTime::max()) {
             ++deadlined;
-            check(deadlines_.count({min_deadline.micros, atom.key()}) == 1,
+            check(deadlines_.count({min_deadline, atom.key()}) == 1,
                   "deadline index entry present",
                   "WorkloadManager: deadlined atom missing from the index");
         }

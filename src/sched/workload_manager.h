@@ -125,7 +125,8 @@ class WorkloadManager final : public cache::UtilityOracle {
         std::vector<SubQuery> items;
         std::uint64_t positions = 0;
         util::SimTime oldest;
-        util::SimTime min_deadline{INT64_MAX};  ///< Earliest QoS deadline queued.
+        /// Earliest QoS deadline queued (SimTime::max() = none).
+        util::SimTime min_deadline = util::SimTime::max();
         double utility = 0.0;  ///< Cached U_t.
         double key = 0.0;      ///< Cached static ranking key.
     };
@@ -142,17 +143,17 @@ class WorkloadManager final : public cache::UtilityOracle {
 
     std::unordered_map<storage::AtomId, AtomQueue, storage::AtomIdHash> queues_;
     // Ordered by descending static key; (-key, atom key) ascending.
-    std::set<std::pair<double, std::uint64_t>> order_;
+    std::set<std::pair<double, storage::AtomKey>> order_;
     struct StepAgg {
         double utility_sum = 0.0;  ///< Sum of U_t (mean gates in-step selection).
         double key_sum = 0.0;      ///< Sum of static aged keys (mean picks the step).
         std::size_t atoms = 0;
         // Ordered by descending U_t; (-U_t, atom key) ascending.
-        std::set<std::pair<double, std::uint64_t>> by_utility;
+        std::set<std::pair<double, storage::AtomKey>> by_utility;
     };
     std::map<std::uint32_t, StepAgg> steps_;
     // Atoms with deadlined work, ordered by (deadline, atom key).
-    std::set<std::pair<std::int64_t, std::uint64_t>> deadlines_;
+    std::set<std::pair<util::SimTime, storage::AtomKey>> deadlines_;
     std::uint64_t total_positions_ = 0;
     std::size_t total_subqueries_ = 0;
     std::uint64_t audit_tick_ = 0;  ///< Rate limiter for automatic audits.

@@ -10,7 +10,12 @@
 #include <cstdint>
 #include <functional>
 
+#include "util/typed_id.h"
+
 namespace jaws::storage {
+
+/// Strong clustered-index key type (see util/typed_id.h).
+using AtomKey = util::AtomKey;
 
 /// Identifies one atom in the dataset.
 struct AtomId {
@@ -23,20 +28,22 @@ struct AtomId {
     /// Composite 64-bit clustered-index key: time step in the high bits so a
     /// key-ordered scan walks each time step along the Morton curve, matching
     /// the production layout (B+ tree keyed on Morton index + time step).
-    std::uint64_t key() const noexcept {
-        return (static_cast<std::uint64_t>(timestep) << 40) | (morton & 0xFFFFFFFFFFULL);
+    AtomKey key() const noexcept {
+        return AtomKey{(static_cast<std::uint64_t>(timestep) << 40) |
+                       (morton & 0xFFFFFFFFFFULL)};
     }
 
     /// Inverse of `key()`.
-    static AtomId from_key(std::uint64_t k) noexcept {
-        return AtomId{static_cast<std::uint32_t>(k >> 40), k & 0xFFFFFFFFFFULL};
+    static AtomId from_key(AtomKey k) noexcept {
+        return AtomId{static_cast<std::uint32_t>(k.value() >> 40),
+                      k.value() & 0xFFFFFFFFFFULL};
     }
 };
 
 /// Hash functor so AtomId can key unordered containers.
 struct AtomIdHash {
     std::size_t operator()(const AtomId& id) const noexcept {
-        std::uint64_t x = id.key();
+        std::uint64_t x = id.key().value();
         x ^= x >> 33;
         x *= 0xff51afd7ed558ccdULL;
         x ^= x >> 33;

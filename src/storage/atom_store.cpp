@@ -28,7 +28,7 @@ AtomStore::AtomStore(const AtomStoreSpec& spec)
     codes.reserve(spec_.grid.atoms_per_step());
     codes = util::morton_box_cover(util::Coord3{0, 0, 0},
                                    util::Coord3{aps - 1, aps - 1, aps - 1});
-    std::vector<std::pair<std::uint64_t, DiskExtent>> records;
+    std::vector<std::pair<AtomKey, DiskExtent>> records;
     records.reserve(spec_.grid.total_atoms());
     std::uint64_t offset = 0;
     for (std::uint32_t t = 0; t < spec_.grid.timesteps; ++t) {
@@ -44,7 +44,7 @@ bool AtomStore::contains(const AtomId& id) const {
     return index_.find(id.key()).has_value();
 }
 
-ReadResult AtomStore::read(const AtomId& id, std::size_t channel) {
+ReadResult AtomStore::read(const AtomId& id, util::ChannelIndex channel) {
     const auto extent = index_.find(id.key());
     if (!extent) throw std::out_of_range("AtomStore::read: atom outside dataset");
     ReadResult result;
@@ -53,7 +53,7 @@ ReadResult AtomStore::read(const AtomId& id, std::size_t channel) {
         const FaultOutcome fault = faults_.on_read(id);
         // Injected stalls (stuck commands; spikes on successful reads) are
         // paid whether or not the request then fails: the channel was held.
-        if (fault.extra_latency.micros > 0) {
+        if (fault.extra_latency > util::SimTime::zero()) {
             disk_.charge_delay(fault.extra_latency);
             result.io_cost += fault.extra_latency;
             result.fault_delay = fault.extra_latency;

@@ -56,7 +56,7 @@ class AtomStore {
     /// injection is configured the attempt may come back `failed` (the disk
     /// time is still charged — the head moved) or carry straggler latency
     /// already folded into `io_cost`.
-    ReadResult read(const AtomId& id, std::size_t channel = 0);
+    ReadResult read(const AtomId& id, util::ChannelIndex channel = util::ChannelIndex{0});
 
     /// Whether `id` denotes an atom of this dataset.
     bool contains(const AtomId& id) const;

@@ -15,7 +15,7 @@ struct BPlusTree::Node {
 struct BPlusTree::Leaf : BPlusTree::Node {
     Leaf() : Node(true) {}
 
-    std::vector<std::uint64_t> keys;
+    std::vector<util::AtomKey> keys;
     std::vector<DiskExtent> values;
     Leaf* next = nullptr;
 };
@@ -25,7 +25,7 @@ struct BPlusTree::Internal : BPlusTree::Node {
 
     // children.size() == keys.size() + 1; subtree children[i] holds keys
     // < keys[i]; children[i+1] holds keys >= keys[i].
-    std::vector<std::uint64_t> keys;
+    std::vector<util::AtomKey> keys;
     std::vector<Node*> children;
 };
 
@@ -86,7 +86,7 @@ void BPlusTree::destroy() {
     height_ = 0;
 }
 
-BPlusTree::Leaf* BPlusTree::find_leaf(std::uint64_t key) const {
+BPlusTree::Leaf* BPlusTree::find_leaf(util::AtomKey key) const {
     Node* node = root_;
     while (!node->leaf) {
         auto* internal = static_cast<Internal*>(node);
@@ -97,7 +97,7 @@ BPlusTree::Leaf* BPlusTree::find_leaf(std::uint64_t key) const {
     return static_cast<Leaf*>(node);
 }
 
-void BPlusTree::insert(std::uint64_t key, const DiskExtent& value) {
+void BPlusTree::insert(util::AtomKey key, const DiskExtent& value) {
     Leaf* leaf = find_leaf(key);
     const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
     const auto idx = static_cast<std::size_t>(it - leaf->keys.begin());
@@ -125,7 +125,7 @@ void BPlusTree::insert(std::uint64_t key, const DiskExtent& value) {
     insert_into_parent(leaf, right->keys.front(), right);
 }
 
-void BPlusTree::insert_into_parent(Node* left, std::uint64_t sep, Node* right) {
+void BPlusTree::insert_into_parent(Node* left, util::AtomKey sep, Node* right) {
     if (left->parent == nullptr) {
         auto* new_root = new Internal();
         new_root->keys.push_back(sep);
@@ -149,7 +149,7 @@ void BPlusTree::insert_into_parent(Node* left, std::uint64_t sep, Node* right) {
     // Split the internal node; the median separator moves up.
     auto* sibling = new Internal();
     const std::size_t mid = parent->keys.size() / 2;
-    const std::uint64_t up_key = parent->keys[mid];
+    const util::AtomKey up_key = parent->keys[mid];
     sibling->keys.assign(parent->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
                          parent->keys.end());
     sibling->children.assign(parent->children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
@@ -160,19 +160,19 @@ void BPlusTree::insert_into_parent(Node* left, std::uint64_t sep, Node* right) {
     insert_into_parent(parent, up_key, sibling);
 }
 
-std::optional<DiskExtent> BPlusTree::find(std::uint64_t key) const {
+std::optional<DiskExtent> BPlusTree::find(util::AtomKey key) const {
     const Leaf* leaf = find_leaf(key);
     const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
     if (it == leaf->keys.end() || *it != key) return std::nullopt;
     return leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
 }
 
-void BPlusTree::scan(std::uint64_t lo, std::uint64_t hi,
-                     const std::function<bool(std::uint64_t, const DiskExtent&)>& visit) const {
+void BPlusTree::scan(util::AtomKey lo, util::AtomKey hi,
+                     const std::function<bool(util::AtomKey, const DiskExtent&)>& visit) const {
     const Leaf* leaf = find_leaf(lo);
     while (leaf != nullptr) {
         for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
-            const std::uint64_t k = leaf->keys[i];
+            const util::AtomKey k = leaf->keys[i];
             if (k < lo) continue;
             if (k > hi) return;
             if (!visit(k, leaf->values[i])) return;
@@ -181,7 +181,7 @@ void BPlusTree::scan(std::uint64_t lo, std::uint64_t hi,
     }
 }
 
-void BPlusTree::bulk_load(const std::vector<std::pair<std::uint64_t, DiskExtent>>& records) {
+void BPlusTree::bulk_load(const std::vector<std::pair<util::AtomKey, DiskExtent>>& records) {
     assert(std::is_sorted(records.begin(), records.end(),
                           [](const auto& a, const auto& b) { return a.first < b.first; }));
     destroy();
@@ -196,7 +196,7 @@ void BPlusTree::bulk_load(const std::vector<std::pair<std::uint64_t, DiskExtent>
     // Pack leaves at ~3/4 occupancy so subsequent inserts don't split at once.
     const std::size_t per_leaf = std::max<std::size_t>(1, kLeafCapacity * 3 / 4);
     std::vector<Node*> level;
-    std::vector<std::uint64_t> level_min;  // smallest key under each node
+    std::vector<util::AtomKey> level_min;  // smallest key under each node
     Leaf* prev = nullptr;
     for (std::size_t i = 0; i < records.size(); i += per_leaf) {
         auto* leaf = new Leaf();
@@ -219,7 +219,7 @@ void BPlusTree::bulk_load(const std::vector<std::pair<std::uint64_t, DiskExtent>
     const std::size_t per_internal = std::max<std::size_t>(2, kFanout * 3 / 4);
     while (level.size() > 1) {
         std::vector<Node*> next_level;
-        std::vector<std::uint64_t> next_min;
+        std::vector<util::AtomKey> next_min;
         for (std::size_t i = 0; i < level.size(); i += per_internal) {
             auto* internal = new Internal();
             const std::size_t end = std::min(level.size(), i + per_internal);
@@ -242,11 +242,11 @@ void BPlusTree::bulk_load(const std::vector<std::pair<std::uint64_t, DiskExtent>
 bool BPlusTree::check_invariants() const {
     // Walk the leaf chain: keys strictly ascending, count matches size().
     std::size_t seen = 0;
-    std::uint64_t last = 0;
+    util::AtomKey last{};
     bool first = true;
     for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
         if (leaf->keys.size() != leaf->values.size()) return false;
-        for (const std::uint64_t k : leaf->keys) {
+        for (const util::AtomKey k : leaf->keys) {
             if (!first && k <= last) return false;
             last = k;
             first = false;
@@ -257,7 +257,7 @@ bool BPlusTree::check_invariants() const {
 
     // Every key must be findable through the tree.
     for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next)
-        for (const std::uint64_t k : leaf->keys)
+        for (const util::AtomKey k : leaf->keys)
             if (find_leaf(k) != leaf) return false;
     return true;
 }

@@ -14,6 +14,8 @@
 #include <optional>
 #include <vector>
 
+#include "util/typed_id.h"
+
 namespace jaws::storage {
 
 /// Location of a record on the simulated disk.
@@ -24,8 +26,8 @@ struct DiskExtent {
     friend bool operator==(const DiskExtent&, const DiskExtent&) = default;
 };
 
-/// In-memory B+ tree from 64-bit keys to DiskExtent values. Leaves are linked
-/// for ordered scans. Fanout is fixed at compile time.
+/// In-memory B+ tree from clustered-index AtomKeys to DiskExtent values.
+/// Leaves are linked for ordered scans. Fanout is fixed at compile time.
 class BPlusTree {
   public:
     static constexpr std::size_t kFanout = 64;  ///< Max children per internal node.
@@ -39,19 +41,19 @@ class BPlusTree {
     BPlusTree& operator=(const BPlusTree&) = delete;
 
     /// Insert or overwrite the record for `key`.
-    void insert(std::uint64_t key, const DiskExtent& value);
+    void insert(util::AtomKey key, const DiskExtent& value);
 
     /// Point lookup; nullopt if the key is absent.
-    std::optional<DiskExtent> find(std::uint64_t key) const;
+    std::optional<DiskExtent> find(util::AtomKey key) const;
 
     /// Visit every record with key in [lo, hi] in ascending key order; the
     /// visitor returns false to stop early.
-    void scan(std::uint64_t lo, std::uint64_t hi,
-              const std::function<bool(std::uint64_t, const DiskExtent&)>& visit) const;
+    void scan(util::AtomKey lo, util::AtomKey hi,
+              const std::function<bool(util::AtomKey, const DiskExtent&)>& visit) const;
 
     /// Replace the contents with `records`, which must be sorted by key and
     /// free of duplicates. Builds a packed tree bottom-up in O(n).
-    void bulk_load(const std::vector<std::pair<std::uint64_t, DiskExtent>>& records);
+    void bulk_load(const std::vector<std::pair<util::AtomKey, DiskExtent>>& records);
 
     /// Number of records.
     std::size_t size() const noexcept { return size_; }
@@ -67,8 +69,8 @@ class BPlusTree {
     struct Leaf;
     struct Internal;
 
-    Leaf* find_leaf(std::uint64_t key) const;
-    void insert_into_parent(Node* left, std::uint64_t sep, Node* right);
+    Leaf* find_leaf(util::AtomKey key) const;
+    void insert_into_parent(Node* left, util::AtomKey sep, Node* right);
     void destroy();
 
     Node* root_ = nullptr;

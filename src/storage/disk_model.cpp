@@ -47,10 +47,10 @@ double DiskModel::slow_multiplier(std::uint64_t n) const noexcept {
 }
 
 util::SimTime DiskModel::peek_cost(std::uint64_t offset, std::uint64_t bytes,
-                                   std::size_t channel) const {
-    if (channel >= heads_.size())
+                                   util::ChannelIndex channel) const {
+    if (channel.value() >= heads_.size())
         throw std::out_of_range("DiskModel::peek_cost: no such channel");
-    const std::uint64_t head = heads_[channel];
+    const std::uint64_t head = heads_[channel.value()];
     double ms = 0.0;
     if (offset != head) {
         const double distance =
@@ -65,10 +65,10 @@ util::SimTime DiskModel::peek_cost(std::uint64_t offset, std::uint64_t bytes,
 }
 
 util::SimTime DiskModel::read(std::uint64_t offset, std::uint64_t bytes,
-                              std::size_t channel) {
+                              util::ChannelIndex channel) {
     util::SimTime cost = peek_cost(offset, bytes, channel);
     ++stats_.requests;
-    if (offset == heads_[channel]) ++stats_.sequential_requests;
+    if (offset == heads_[channel.value()]) ++stats_.sequential_requests;
     stats_.bytes_read += bytes;
     if (spec_.heavy_tail.enabled()) {
         const double mult = slow_multiplier(draws_++);
@@ -81,7 +81,7 @@ util::SimTime DiskModel::read(std::uint64_t offset, std::uint64_t bytes,
         }
     }
     stats_.service_time += cost;
-    heads_[channel] = offset + bytes;
+    heads_[channel.value()] = offset + bytes;
     return cost;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "util/sim_time.h"
+#include "util/typed_id.h"
 
 namespace jaws::storage {
 
@@ -93,18 +94,18 @@ class DiskModel {
     /// straggler multiplier (so read() can exceed peek_cost(), which always
     /// prices the straggler-free case the scheduler's estimates assume).
     util::SimTime read(std::uint64_t offset, std::uint64_t bytes,
-                       std::size_t channel = 0);
+                       util::ChannelIndex channel = util::ChannelIndex{0});
 
     /// Cost the same read would incur, without performing it.
     util::SimTime peek_cost(std::uint64_t offset, std::uint64_t bytes,
-                            std::size_t channel = 0) const;
+                            util::ChannelIndex channel = util::ChannelIndex{0}) const;
 
     /// Account injected extra service time (fault-injector latency spikes).
     /// Kept disjoint from service_time — see DiskStats. A non-positive span
     /// is ignored: a negative "extra" would silently *refund* fault delay
     /// through the charging entry point (found by fuzz/fuzz_disk_model.cpp).
     void charge_delay(util::SimTime extra) noexcept {
-        if (extra.micros > 0) stats_.fault_delay += extra;
+        if (extra > util::SimTime::zero()) stats_.fault_delay += extra;
     }
 
     /// A request already counted by read() was cancelled mid-service
@@ -117,9 +118,7 @@ class DiskModel {
     /// point (found by fuzz/fuzz_disk_model.cpp) — is treated as zero.
     void cancel_tail(util::SimTime unrendered) noexcept {
         ++stats_.aborted_requests;
-        stats_.service_time.micros = std::max<std::int64_t>(
-            0, stats_.service_time.micros -
-                   std::max<std::int64_t>(0, unrendered.micros));
+        stats_.service_time = stats_.service_time.minus_clamped(unrendered);
     }
 
     /// Give back injected delay (charge_delay) that a cancelled request never
@@ -127,9 +126,7 @@ class DiskModel {
     /// fault_delay side of the ledger, keeping the two disjoint after mixed
     /// cancels; clamped the same way (never negative, negative tails ignored).
     void refund_delay(util::SimTime unrendered) noexcept {
-        stats_.fault_delay.micros = std::max<std::int64_t>(
-            0, stats_.fault_delay.micros -
-                   std::max<std::int64_t>(0, unrendered.micros));
+        stats_.fault_delay = stats_.fault_delay.minus_clamped(unrendered);
     }
 
     /// Number of independent service channels.

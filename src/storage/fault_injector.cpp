@@ -17,7 +17,7 @@ double FaultInjector::hash_uniform(const AtomId& id, std::uint64_t attempt,
     // splitmix64 over the concatenated identity: order-independent across
     // atoms, distinct per attempt and per decision stream.
     std::uint64_t state = spec_.seed;
-    state ^= util::splitmix64(state) ^ id.key();
+    state ^= util::splitmix64(state) ^ id.key().value();
     state ^= util::splitmix64(state) ^ attempt;
     state ^= util::splitmix64(state) ^ stream;
     return static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;

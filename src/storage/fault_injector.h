@@ -28,6 +28,7 @@
 
 #include "storage/atom.h"
 #include "util/sim_time.h"
+#include "util/typed_id.h"
 
 namespace jaws::storage {
 
@@ -41,7 +42,7 @@ struct BadRange {
 /// One node of the cluster dies at virtual time `at`; its unfinished work
 /// fails over to surviving replicas (see TurbulenceCluster).
 struct NodeDownEvent {
-    std::size_t node = 0;
+    util::NodeIndex node;
     util::SimTime at;
 };
 

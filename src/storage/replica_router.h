@@ -14,6 +14,11 @@
 // (AtomStore) and modelled-disk (SimResource) targets plus the serving node
 // id for accounting. A standalone engine has no router and serves everything
 // locally — byte-identical to the pre-cluster behaviour.
+//
+// All node identities here are strong util::NodeIndex values and atoms are
+// identified by AtomId — the raw-integer signatures this interface used to
+// have let a Morton code or a size_t node index slip through unconverted
+// (see ISSUE 9); the raw-id-api analyzer pass keeps it that way.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +27,7 @@
 
 #include "storage/atom_store.h"
 #include "util/event_queue.h"
+#include "util/typed_id.h"
 
 namespace jaws::storage {
 
@@ -31,7 +37,7 @@ namespace jaws::storage {
 struct ReadRoute {
     AtomStore* store = nullptr;
     util::SimResource* disk = nullptr;
-    std::uint32_t node = 0;
+    util::NodeIndex node;
 };
 
 /// Cross-node read router. Implemented by the unified cluster kernel;
@@ -44,15 +50,15 @@ class ReplicaRouter {
     /// valid route (the implementation falls back to `self` when no replica
     /// of the atom's chain survives — the read then fails like any read on a
     /// dead store would).
-    virtual ReadRoute route_read(std::uint32_t self, std::uint64_t atom) = 0;
+    virtual ReadRoute route_read(util::NodeIndex self, const AtomId& atom) = 0;
 
     /// Route a hedge (duplicate) read for `atom` whose primary was routed to
     /// `primary`. Implementations should prefer a surviving replica other
     /// than `primary` so the hedge rides independent hardware; with no
     /// alternative the hedge lands back on `primary`'s disk (a different
     /// channel, as in the single-node hedging of PR 6).
-    virtual ReadRoute route_hedge(std::uint32_t self, std::uint64_t atom,
-                                  std::uint32_t primary) = 0;
+    virtual ReadRoute route_hedge(util::NodeIndex self, const AtomId& atom,
+                                  util::NodeIndex primary) = 0;
 
     /// Distinct disks that can currently serve node `self`'s demand reads:
     /// the surviving members of its own range's replica chain (>= 1; a node
@@ -60,7 +66,7 @@ class ReplicaRouter {
     /// pipeline window by this factor — replication multiplies the I/O
     /// concurrency a node can keep in flight, not just where each read
     /// lands. The default (1) preserves standalone behaviour bit-exactly.
-    virtual std::size_t read_concurrency(std::uint32_t self) const {
+    virtual std::size_t read_concurrency(util::NodeIndex self) const {
         (void)self;
         return 1;
     }
@@ -70,15 +76,16 @@ class ReplicaRouter {
 /// {owner, owner+1, ..., owner+replication-1} mod nodes, in preference
 /// order. `replication` is clamped to `nodes` (a chain never wraps onto
 /// itself twice).
-inline std::vector<std::size_t> replica_chain(std::size_t owner,
-                                              std::size_t replication,
-                                              std::size_t nodes) {
-    std::vector<std::size_t> chain;
+inline std::vector<util::NodeIndex> replica_chain(util::NodeIndex owner,
+                                                  std::size_t replication,
+                                                  std::size_t nodes) {
+    std::vector<util::NodeIndex> chain;
     if (nodes == 0) return chain;
     if (replication > nodes) replication = nodes;
     chain.reserve(replication);
     for (std::size_t i = 0; i < replication; ++i)
-        chain.push_back((owner + i) % nodes);
+        chain.push_back(util::NodeIndex{
+            static_cast<std::uint32_t>((owner.value() + i) % nodes)});
     return chain;
 }
 

@@ -159,14 +159,14 @@ std::size_t SimResource::queued() const noexcept {
 SimTime SimResource::busy_channel_time() const {
     const SimTime now = events_.now();
     return busy_integral_ +
-           SimTime{static_cast<std::int64_t>(busy_) * (now - last_change_).micros};
+           (now - last_change_).scaled_by(static_cast<std::int64_t>(busy_));
 }
 
 void SimResource::note_busy_change(std::size_t delta_sign) {
     if (observer_) observer_();  // old busy count still visible to the observer
     const SimTime now = events_.now();
     busy_integral_ +=
-        SimTime{static_cast<std::int64_t>(busy_) * (now - last_change_).micros};
+        (now - last_change_).scaled_by(static_cast<std::int64_t>(busy_));
     last_change_ = now;
     busy_ = delta_sign ? busy_ + 1 : busy_ - 1;
     peak_busy_ = std::max(peak_busy_, busy_);
@@ -316,7 +316,7 @@ bool SimResource::audit() const {
               "SimResource: jobs waiting while a channel is free");
     check(last_change_ <= now, "last_change_ <= now",
           "SimResource: busy integral accounted ahead of the clock");
-    check(busy_integral_.micros >= 0, "busy_integral_ >= 0",
+    check(busy_integral_ >= SimTime::zero(), "busy_integral_ >= 0",
           "SimResource: negative busy-time integral");
     return ok;
 }

@@ -336,7 +336,7 @@ void apply_speedup(Workload& workload, double speedup) {
     util::SimTime prev_new = workload.jobs.front().arrival;
     for (std::size_t i = 1; i < workload.jobs.size(); ++i) {
         const util::SimTime orig = workload.jobs[i].arrival;
-        const auto gap = static_cast<double>((orig - prev_orig).micros) / speedup;
+        const auto gap = static_cast<double>((orig - prev_orig).raw_micros()) / speedup;
         prev_new = prev_new + util::SimTime::from_micros(static_cast<std::int64_t>(gap));
         prev_orig = orig;
         workload.jobs[i].arrival = prev_new;

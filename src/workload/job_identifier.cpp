@@ -60,7 +60,7 @@ std::vector<JobId> identify_jobs(const std::vector<TraceRecord>& records,
                  (s.step_direction == 0 || s.step_direction == (dstep > 0 ? 1 : -1)));
             if (!step_ok) continue;
             // Prefer the most recently active candidate.
-            const std::int64_t score = s.last_submit.micros;
+            const std::int64_t score = s.last_submit.raw_micros();
             if (score > best_score) {
                 best_score = score;
                 best = &s;

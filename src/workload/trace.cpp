@@ -56,7 +56,7 @@ std::string to_csv(const std::vector<TraceRecord>& records) {
             static_cast<unsigned long long>(r.true_job), r.seq_in_job, r.user,
             static_cast<unsigned>(r.job_type), r.timestep, static_cast<unsigned>(r.kind),
             static_cast<unsigned long long>(r.positions), r.atoms,
-            static_cast<long long>(r.submit.micros));
+            static_cast<long long>(r.submit.raw_micros()));
         out.append(row, static_cast<std::size_t>(n));
     }
     return out;

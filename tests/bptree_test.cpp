@@ -11,50 +11,54 @@
 namespace jaws::storage {
 namespace {
 
+/// Shorthand for building the strong key type from a raw literal.
+util::AtomKey K(std::uint64_t v) { return util::AtomKey{v}; }
+
 TEST(BPlusTree, EmptyTree) {
     BPlusTree tree;
     EXPECT_EQ(tree.size(), 0u);
     EXPECT_EQ(tree.height(), 1u);
-    EXPECT_FALSE(tree.find(42).has_value());
+    EXPECT_FALSE(tree.find(K(42)).has_value());
     EXPECT_TRUE(tree.check_invariants());
 }
 
 TEST(BPlusTree, InsertAndFind) {
     BPlusTree tree;
-    tree.insert(10, {100, 8});
-    tree.insert(5, {50, 8});
-    tree.insert(20, {200, 8});
+    tree.insert(K(10), {100, 8});
+    tree.insert(K(5), {50, 8});
+    tree.insert(K(20), {200, 8});
     EXPECT_EQ(tree.size(), 3u);
-    EXPECT_EQ(tree.find(10)->offset, 100u);
-    EXPECT_EQ(tree.find(5)->offset, 50u);
-    EXPECT_EQ(tree.find(20)->offset, 200u);
-    EXPECT_FALSE(tree.find(15).has_value());
+    EXPECT_EQ(tree.find(K(10))->offset, 100u);
+    EXPECT_EQ(tree.find(K(5))->offset, 50u);
+    EXPECT_EQ(tree.find(K(20))->offset, 200u);
+    EXPECT_FALSE(tree.find(K(15)).has_value());
 }
 
 TEST(BPlusTree, OverwriteKeepsSize) {
     BPlusTree tree;
-    tree.insert(7, {1, 1});
-    tree.insert(7, {2, 2});
+    tree.insert(K(7), {1, 1});
+    tree.insert(K(7), {2, 2});
     EXPECT_EQ(tree.size(), 1u);
-    EXPECT_EQ(tree.find(7)->offset, 2u);
+    EXPECT_EQ(tree.find(K(7))->offset, 2u);
 }
 
 TEST(BPlusTree, SplitsGrowHeight) {
     BPlusTree tree;
-    for (std::uint64_t i = 0; i < 10000; ++i) tree.insert(i, {i, 1});
+    for (std::uint64_t i = 0; i < 10000; ++i) tree.insert(K(i), {i, 1});
     EXPECT_EQ(tree.size(), 10000u);
     EXPECT_GT(tree.height(), 1u);
     EXPECT_TRUE(tree.check_invariants());
-    for (std::uint64_t i = 0; i < 10000; i += 37) ASSERT_EQ(tree.find(i)->offset, i);
+    for (std::uint64_t i = 0; i < 10000; i += 37)
+        ASSERT_EQ(tree.find(K(i))->offset, i);
 }
 
 TEST(BPlusTree, ReverseInsertionOrder) {
     BPlusTree tree;
-    for (std::uint64_t i = 5000; i-- > 0;) tree.insert(i, {i, 1});
+    for (std::uint64_t i = 5000; i-- > 0;) tree.insert(K(i), {i, 1});
     EXPECT_EQ(tree.size(), 5000u);
     EXPECT_TRUE(tree.check_invariants());
-    EXPECT_EQ(tree.find(0)->offset, 0u);
-    EXPECT_EQ(tree.find(4999)->offset, 4999u);
+    EXPECT_EQ(tree.find(K(0))->offset, 0u);
+    EXPECT_EQ(tree.find(K(4999))->offset, 4999u);
 }
 
 TEST(BPlusTree, RandomInsertMatchesStdMap) {
@@ -64,20 +68,20 @@ TEST(BPlusTree, RandomInsertMatchesStdMap) {
     for (int i = 0; i < 20000; ++i) {
         const std::uint64_t key = rng.uniform_u64(30000);
         const std::uint64_t value = rng();
-        tree.insert(key, {value, 1});
+        tree.insert(K(key), {value, 1});
         reference[key] = value;
     }
     EXPECT_EQ(tree.size(), reference.size());
     EXPECT_TRUE(tree.check_invariants());
-    for (const auto& [k, v] : reference) ASSERT_EQ(tree.find(k)->offset, v);
+    for (const auto& [k, v] : reference) ASSERT_EQ(tree.find(K(k))->offset, v);
 }
 
 TEST(BPlusTree, ScanVisitsRangeInOrder) {
     BPlusTree tree;
-    for (std::uint64_t i = 0; i < 1000; ++i) tree.insert(i * 3, {i, 1});
+    for (std::uint64_t i = 0; i < 1000; ++i) tree.insert(K(i * 3), {i, 1});
     std::vector<std::uint64_t> seen;
-    tree.scan(30, 90, [&](std::uint64_t k, const DiskExtent&) {
-        seen.push_back(k);
+    tree.scan(K(30), K(90), [&](util::AtomKey k, const DiskExtent&) {
+        seen.push_back(k.value());
         return true;
     });
     // Multiples of 3 in [30, 90]: 30, 33, ..., 90 -> 21 keys.
@@ -89,17 +93,18 @@ TEST(BPlusTree, ScanVisitsRangeInOrder) {
 
 TEST(BPlusTree, ScanEarlyStop) {
     BPlusTree tree;
-    for (std::uint64_t i = 0; i < 100; ++i) tree.insert(i, {i, 1});
+    for (std::uint64_t i = 0; i < 100; ++i) tree.insert(K(i), {i, 1});
     int visits = 0;
-    tree.scan(0, 99, [&](std::uint64_t, const DiskExtent&) { return ++visits < 5; });
+    tree.scan(K(0), K(99),
+              [&](util::AtomKey, const DiskExtent&) { return ++visits < 5; });
     EXPECT_EQ(visits, 5);
 }
 
 TEST(BPlusTree, ScanEmptyRange) {
     BPlusTree tree;
-    for (std::uint64_t i = 0; i < 100; i += 10) tree.insert(i, {i, 1});
+    for (std::uint64_t i = 0; i < 100; i += 10) tree.insert(K(i), {i, 1});
     int visits = 0;
-    tree.scan(41, 49, [&](std::uint64_t, const DiskExtent&) {
+    tree.scan(K(41), K(49), [&](util::AtomKey, const DiskExtent&) {
         ++visits;
         return true;
     });
@@ -107,54 +112,56 @@ TEST(BPlusTree, ScanEmptyRange) {
 }
 
 TEST(BPlusTree, BulkLoadThenFind) {
-    std::vector<std::pair<std::uint64_t, DiskExtent>> records;
-    for (std::uint64_t i = 0; i < 50000; ++i) records.emplace_back(i * 2, DiskExtent{i, 4});
+    std::vector<std::pair<util::AtomKey, DiskExtent>> records;
+    for (std::uint64_t i = 0; i < 50000; ++i)
+        records.emplace_back(K(i * 2), DiskExtent{i, 4});
     BPlusTree tree;
     tree.bulk_load(records);
     EXPECT_EQ(tree.size(), records.size());
     EXPECT_TRUE(tree.check_invariants());
-    EXPECT_EQ(tree.find(0)->offset, 0u);
-    EXPECT_EQ(tree.find(99998)->offset, 49999u);
-    EXPECT_FALSE(tree.find(99999).has_value());
-    EXPECT_FALSE(tree.find(1).has_value());
+    EXPECT_EQ(tree.find(K(0))->offset, 0u);
+    EXPECT_EQ(tree.find(K(99998))->offset, 49999u);
+    EXPECT_FALSE(tree.find(K(99999)).has_value());
+    EXPECT_FALSE(tree.find(K(1)).has_value());
 }
 
 TEST(BPlusTree, BulkLoadEmpty) {
     BPlusTree tree;
-    tree.insert(1, {1, 1});
+    tree.insert(K(1), {1, 1});
     tree.bulk_load({});
     EXPECT_EQ(tree.size(), 0u);
     EXPECT_TRUE(tree.check_invariants());
 }
 
 TEST(BPlusTree, InsertAfterBulkLoad) {
-    std::vector<std::pair<std::uint64_t, DiskExtent>> records;
-    for (std::uint64_t i = 0; i < 1000; ++i) records.emplace_back(i * 10, DiskExtent{i, 1});
+    std::vector<std::pair<util::AtomKey, DiskExtent>> records;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        records.emplace_back(K(i * 10), DiskExtent{i, 1});
     BPlusTree tree;
     tree.bulk_load(records);
-    for (std::uint64_t i = 0; i < 1000; ++i) tree.insert(i * 10 + 5, {i, 2});
+    for (std::uint64_t i = 0; i < 1000; ++i) tree.insert(K(i * 10 + 5), {i, 2});
     EXPECT_EQ(tree.size(), 2000u);
     EXPECT_TRUE(tree.check_invariants());
-    EXPECT_EQ(tree.find(15)->length, 2u);
-    EXPECT_EQ(tree.find(10)->length, 1u);
+    EXPECT_EQ(tree.find(K(15))->length, 2u);
+    EXPECT_EQ(tree.find(K(10))->length, 1u);
 }
 
 TEST(BPlusTree, MoveConstructionTransfersOwnership) {
     BPlusTree a;
-    for (std::uint64_t i = 0; i < 500; ++i) a.insert(i, {i, 1});
+    for (std::uint64_t i = 0; i < 500; ++i) a.insert(K(i), {i, 1});
     BPlusTree b(std::move(a));
     EXPECT_EQ(b.size(), 500u);
     EXPECT_TRUE(b.check_invariants());
-    EXPECT_EQ(b.find(123)->offset, 123u);
+    EXPECT_EQ(b.find(K(123))->offset, 123u);
 }
 
 TEST(BPlusTree, MoveAssignmentReleasesOld) {
     BPlusTree a, b;
-    for (std::uint64_t i = 0; i < 300; ++i) a.insert(i, {i, 1});
-    b.insert(9999, {1, 1});
+    for (std::uint64_t i = 0; i < 300; ++i) a.insert(K(i), {i, 1});
+    b.insert(K(9999), {1, 1});
     b = std::move(a);
     EXPECT_EQ(b.size(), 300u);
-    EXPECT_FALSE(b.find(9999).has_value());
+    EXPECT_FALSE(b.find(K(9999)).has_value());
     EXPECT_TRUE(b.check_invariants());
 }
 
@@ -165,13 +172,13 @@ TEST(BPlusTree, FullScanAscending) {
     for (int i = 0; i < 5000; ++i) {
         const std::uint64_t k = rng();
         keys.push_back(k);
-        tree.insert(k, {k, 1});
+        tree.insert(K(k), {k, 1});
     }
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
     std::vector<std::uint64_t> seen;
-    tree.scan(0, ~0ULL, [&](std::uint64_t k, const DiskExtent&) {
-        seen.push_back(k);
+    tree.scan(K(0), K(~0ULL), [&](util::AtomKey k, const DiskExtent&) {
+        seen.push_back(k.value());
         return true;
     });
     EXPECT_EQ(seen, keys);

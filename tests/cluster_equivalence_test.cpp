@@ -221,7 +221,7 @@ TEST(ClusterFailover, InKernelFailoverAbsorbsTheDeadNodesWork) {
     // recovery re-run), where it contends with node 1's own queue.
     ClusterConfig config = tiny_cluster(2, 2);
     config.node.faults.node_down.push_back(
-        storage::NodeDownEvent{0, util::SimTime::from_millis(300.0)});
+        storage::NodeDownEvent{util::NodeIndex{0}, util::SimTime::from_millis(300.0)});
     workload::Workload w;
     for (workload::QueryId i = 1; i <= 24; ++i)
         w.jobs.push_back(single_query_job(
@@ -246,7 +246,7 @@ TEST(ClusterFailover, InKernelFailoverAbsorbsTheDeadNodesWork) {
 TEST(ClusterFailover, NoSurvivingReplicaLosesTheTailInKernel) {
     ClusterConfig config = tiny_cluster(2, 1);  // no redundancy
     config.node.faults.node_down.push_back(
-        storage::NodeDownEvent{0, util::SimTime::from_millis(300.0)});
+        storage::NodeDownEvent{util::NodeIndex{0}, util::SimTime::from_millis(300.0)});
     workload::Workload w;
     for (workload::QueryId i = 1; i <= 24; ++i)
         w.jobs.push_back(single_query_job(
@@ -266,7 +266,7 @@ TEST(ClusterFailover, SurvivorsDiskUtilizationRisesAfterTheDeath) {
     ClusterConfig config = tiny_cluster(2, 2);
     config.node.timeline_window_s = 0.1;
     const util::SimTime death = util::SimTime::from_millis(300.0);
-    config.node.faults.node_down.push_back(storage::NodeDownEvent{0, death});
+    config.node.faults.node_down.push_back(storage::NodeDownEvent{util::NodeIndex{0}, death});
     workload::Workload w;
     for (workload::QueryId i = 1; i <= 48; ++i)
         w.jobs.push_back(single_query_job(
@@ -318,7 +318,7 @@ TEST(ClusterLegacyMode, PostHocRecoveryPathStillWorks) {
     ClusterConfig config = tiny_cluster(2, 2);
     config.mode = ClusterMode::kLegacy;
     config.node.faults.node_down.push_back(
-        storage::NodeDownEvent{0, util::SimTime::from_millis(300.0)});
+        storage::NodeDownEvent{util::NodeIndex{0}, util::SimTime::from_millis(300.0)});
     workload::Workload w;
     for (workload::QueryId i = 1; i <= 24; ++i)
         w.jobs.push_back(single_query_job(

@@ -1,6 +1,8 @@
 // Tests for the multi-node cluster facade (core/cluster.h).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -39,7 +41,7 @@ TEST(ClusterNodeOf, CoversAllNodesContiguously) {
     std::size_t last = 0;
     std::vector<bool> seen(nodes, false);
     for (std::uint64_t m = 0; m < aps; ++m) {
-        const std::size_t n = TurbulenceCluster::node_of(m, aps, nodes);
+        const std::size_t n = TurbulenceCluster::node_of(m, aps, nodes).value();
         ASSERT_LT(n, nodes);
         ASSERT_GE(n, last);  // monotone in Morton order (contiguous ranges)
         last = n;
@@ -49,7 +51,7 @@ TEST(ClusterNodeOf, CoversAllNodesContiguously) {
 }
 
 TEST(ClusterNodeOf, SingleNodeTakesAll) {
-    EXPECT_EQ(TurbulenceCluster::node_of(123, 4096, 1), 0u);
+    EXPECT_EQ(TurbulenceCluster::node_of(123, 4096, 1).value(), 0u);
 }
 
 TEST(ClusterNodeOf, RangeBoundariesWithIndivisibleAtomCount) {
@@ -63,52 +65,94 @@ TEST(ClusterNodeOf, RangeBoundariesWithIndivisibleAtomCount) {
         const std::uint64_t first = n * per_node;
         const std::uint64_t last = std::min<std::uint64_t>((n + 1) * per_node, aps) - 1;
         // First and last atom of each range land on that node.
-        EXPECT_EQ(TurbulenceCluster::node_of(first, aps, nodes), n);
-        EXPECT_EQ(TurbulenceCluster::node_of(last, aps, nodes), n);
+        EXPECT_EQ(TurbulenceCluster::node_of(first, aps, nodes).value(), n);
+        EXPECT_EQ(TurbulenceCluster::node_of(last, aps, nodes).value(), n);
         // One before the range belongs to the previous node.
         if (n > 0)
-            EXPECT_EQ(TurbulenceCluster::node_of(first - 1, aps, nodes), n - 1);
+            EXPECT_EQ(TurbulenceCluster::node_of(first - 1, aps, nodes).value(), n - 1);
     }
     // Morton codes past atoms_per_step clamp to the last node rather than
     // running off the end of the node array.
-    EXPECT_EQ(TurbulenceCluster::node_of(aps, aps, nodes), nodes - 1);
-    EXPECT_EQ(TurbulenceCluster::node_of(aps + 100, aps, nodes), nodes - 1);
+    EXPECT_EQ(TurbulenceCluster::node_of(aps, aps, nodes).value(), nodes - 1);
+    EXPECT_EQ(TurbulenceCluster::node_of(aps + 100, aps, nodes).value(), nodes - 1);
 }
 
 TEST(ClusterNodeOf, MoreNodesThanAtomsLeavesTrailingNodesEmpty) {
     // 2 atoms over 4 nodes: per_node = 1, atoms 0 and 1 land on nodes 0 and
     // 1; nodes 2 and 3 own no atom (and node_of never returns them).
     const std::uint64_t aps = 2;
-    EXPECT_EQ(TurbulenceCluster::node_of(0, aps, 4), 0u);
-    EXPECT_EQ(TurbulenceCluster::node_of(1, aps, 4), 1u);
+    EXPECT_EQ(TurbulenceCluster::node_of(0, aps, 4).value(), 0u);
+    EXPECT_EQ(TurbulenceCluster::node_of(1, aps, 4).value(), 1u);
     for (std::uint64_t m = 0; m < aps; ++m)
-        EXPECT_LT(TurbulenceCluster::node_of(m, aps, 4), 2u);
+        EXPECT_LT(TurbulenceCluster::node_of(m, aps, 4).value(), 2u);
+}
+
+TEST(ClusterNodeOf, HandlesClustersAtTheNodeIndexCeiling) {
+    // ISSUE 9 boundary: the old API returned size_t while callers stored
+    // uint32; a cluster at the 32-bit ceiling is now an explicit, tested
+    // edge instead of a silent truncation site. per_node = 1 here, so the
+    // last atom lands on the last representable node index.
+    const std::uint64_t n32 = std::numeric_limits<std::uint32_t>::max();
+    EXPECT_EQ(TurbulenceCluster::node_of(n32 - 1, n32, n32).value(), n32 - 1);
+    EXPECT_EQ(TurbulenceCluster::node_of(0, n32, n32).value(), 0u);
+    // Morton codes past the step clamp to the last node, even at the rail.
+    EXPECT_EQ(TurbulenceCluster::node_of(n32 + 100, n32, n32).value(), n32 - 1);
+}
+
+TEST(ClusterValidate, RejectsNodeCountsBeyondNodeIndex) {
+    ClusterConfig c = small_cluster(2);
+    c.nodes = (std::uint64_t{1} << 32) + 1;
+    c.replication = 1;
+    try {
+        c.validate();
+        FAIL() << "node counts beyond NodeIndex's 32-bit range must be rejected";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("NodeIndex"), std::string::npos);
+    }
+}
+
+TEST(ReplicaChain, WrapsAtTheNodeIndexCeiling) {
+    // The chain arithmetic runs in size_t and re-wraps into NodeIndex: the
+    // last representable node's replica is node 0, not a truncated value.
+    const std::size_t nodes = std::numeric_limits<std::uint32_t>::max();
+    const auto chain = storage::replica_chain(
+        util::NodeIndex{std::numeric_limits<std::uint32_t>::max() - 1}, 2,
+        nodes);
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[0].value(), std::numeric_limits<std::uint32_t>::max() - 1);
+    EXPECT_EQ(chain[1].value(), 0u);
+}
+
+std::vector<util::NodeIndex> ring(std::initializer_list<std::uint32_t> raw) {
+    std::vector<util::NodeIndex> out;
+    for (const std::uint32_t n : raw) out.push_back(util::NodeIndex{n});
+    return out;
 }
 
 TEST(ReplicaChain, FollowsChainedDeclusteringOrder) {
-    const auto chain = storage::replica_chain(1, 3, 5);
-    EXPECT_EQ(chain, (std::vector<std::size_t>{1, 2, 3}));
+    const auto chain = storage::replica_chain(util::NodeIndex{1}, 3, 5);
+    EXPECT_EQ(chain, ring({1, 2, 3}));
 }
 
 TEST(ReplicaChain, WrapsAroundTheLastNode) {
     // The ranges owned by the tail nodes replicate onto the head of the ring.
-    EXPECT_EQ(storage::replica_chain(3, 3, 4), (std::vector<std::size_t>{3, 0, 1}));
-    EXPECT_EQ(storage::replica_chain(4, 2, 5), (std::vector<std::size_t>{4, 0}));
+    EXPECT_EQ(storage::replica_chain(util::NodeIndex{3}, 3, 4), ring({3, 0, 1}));
+    EXPECT_EQ(storage::replica_chain(util::NodeIndex{4}, 2, 5), ring({4, 0}));
 }
 
 TEST(ReplicaChain, ClampsReplicationToClusterSize) {
     // replication > nodes cannot place two copies on one node: the chain
     // covers each node exactly once.
-    EXPECT_EQ(storage::replica_chain(2, 9, 3), (std::vector<std::size_t>{2, 0, 1}));
-    EXPECT_TRUE(storage::replica_chain(0, 2, 0).empty());
+    EXPECT_EQ(storage::replica_chain(util::NodeIndex{2}, 9, 3), ring({2, 0, 1}));
+    EXPECT_TRUE(storage::replica_chain(util::NodeIndex{0}, 2, 0).empty());
 }
 
 TEST(ClusterValidate, RejectsDuplicateNodeDownEvents) {
     ClusterConfig c = small_cluster(2);
     c.node.faults.node_down.push_back(
-        storage::NodeDownEvent{1, util::SimTime::from_seconds(5.0)});
+        storage::NodeDownEvent{util::NodeIndex{1}, util::SimTime::from_seconds(5.0)});
     c.node.faults.node_down.push_back(
-        storage::NodeDownEvent{1, util::SimTime::from_seconds(9.0)});
+        storage::NodeDownEvent{util::NodeIndex{1}, util::SimTime::from_seconds(9.0)});
     try {
         c.validate();
         FAIL() << "duplicate node_down events must be rejected";
@@ -122,7 +166,7 @@ TEST(ClusterValidate, RejectsDuplicateNodeDownEvents) {
 
 TEST(ClusterValidate, RejectsNodeDownAtTickZero) {
     ClusterConfig c = small_cluster(2);
-    c.node.faults.node_down.push_back(storage::NodeDownEvent{0, util::SimTime::zero()});
+    c.node.faults.node_down.push_back(storage::NodeDownEvent{util::NodeIndex{0}, util::SimTime::zero()});
     try {
         c.validate();
         FAIL() << "a node-down at tick 0 must be rejected";
@@ -136,9 +180,9 @@ TEST(ClusterValidate, AcceptsDistinctDeathsOnDistinctNodes) {
     ClusterConfig c = small_cluster(3);
     c.replication = 2;
     c.node.faults.node_down.push_back(
-        storage::NodeDownEvent{0, util::SimTime::from_seconds(5.0)});
+        storage::NodeDownEvent{util::NodeIndex{0}, util::SimTime::from_seconds(5.0)});
     c.node.faults.node_down.push_back(
-        storage::NodeDownEvent{2, util::SimTime::from_seconds(7.0)});
+        storage::NodeDownEvent{util::NodeIndex{2}, util::SimTime::from_seconds(7.0)});
     EXPECT_NO_THROW(c.validate());
 }
 
@@ -176,7 +220,7 @@ TEST(ClusterPartition, EachPartOwnsOnlyItsAtoms) {
         for (const auto& job : parts[n].jobs)
             for (const auto& q : job.queries)
                 for (const auto& req : q.footprint)
-                    ASSERT_EQ(TurbulenceCluster::node_of(req.atom.morton, aps, 4), n);
+                    ASSERT_EQ(TurbulenceCluster::node_of(req.atom.morton, aps, 4).value(), n);
 }
 
 TEST(ClusterPartition, SequencesStayContiguous) {

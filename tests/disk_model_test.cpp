@@ -104,19 +104,19 @@ TEST(DiskModel, ChargeDelayIsDisjointFromServiceTime) {
 
 TEST(DiskModel, ChannelsKeepIndependentHeads) {
     DiskModel disk(spec(), /*channels=*/2);
-    disk.read(0, 1 << 20, /*channel=*/0);  // channel 0 head at 1 MiB
+    disk.read(0, 1 << 20, util::ChannelIndex{0});  // channel 0 head at 1 MiB
     // Channel 1's head is still parked at 0: the same sequential-continuation
     // read is cheap on channel 0 but pays a seek on channel 1.
-    const double chan0 = disk.peek_cost(1 << 20, 1 << 20, 0).millis();
-    const double chan1 = disk.peek_cost(1 << 20, 1 << 20, 1).millis();
+    const double chan0 = disk.peek_cost(1 << 20, 1 << 20, util::ChannelIndex{0}).millis();
+    const double chan1 = disk.peek_cost(1 << 20, 1 << 20, util::ChannelIndex{1}).millis();
     EXPECT_NEAR(chan0, transfer_ms(1 << 20), 2e-3);
     EXPECT_GT(chan1, chan0 + 0.9);  // settle_ms at least
 }
 
 TEST(DiskModel, ChannelOutOfRangeThrows) {
     DiskModel disk(spec(), /*channels=*/2);
-    EXPECT_THROW(disk.read(0, 1 << 20, /*channel=*/2), std::out_of_range);
-    EXPECT_THROW(disk.peek_cost(0, 1 << 20, 7), std::out_of_range);
+    EXPECT_THROW(disk.read(0, 1 << 20, util::ChannelIndex{2}), std::out_of_range);
+    EXPECT_THROW(disk.peek_cost(0, 1 << 20, util::ChannelIndex{7}), std::out_of_range);
 }
 
 TEST(DiskModel, CancelTailRefundsUnrenderedServiceTime) {

@@ -18,7 +18,7 @@ TEST(FaultInjector, DefaultSpecIsDisabled) {
 
 TEST(FaultInjector, NodeDownAloneDoesNotEnableStorageFaults) {
     FaultSpec spec;
-    spec.node_down.push_back(NodeDownEvent{0, util::SimTime::from_seconds(1)});
+    spec.node_down.push_back(NodeDownEvent{util::NodeIndex{0}, util::SimTime::from_seconds(1)});
     EXPECT_FALSE(spec.storage_faults_enabled());
 }
 

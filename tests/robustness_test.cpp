@@ -309,7 +309,7 @@ TEST(ConfigValidation, RejectsDegenerateClusterConfigs) {
         c.node = tiny_config();
         c.nodes = 2;
         c.node.faults.node_down.push_back(
-            storage::NodeDownEvent{5, util::SimTime::from_seconds(1)});
+            storage::NodeDownEvent{util::NodeIndex{5}, util::SimTime::from_seconds(1)});
         EXPECT_THROW(core::TurbulenceCluster{c}, std::invalid_argument);
     }
     {
@@ -528,7 +528,7 @@ TEST(Failover, NodeDeathWithoutReplicationLosesOnlyThatNodesTail) {
     config.nodes = 2;
     config.replication = 1;
     config.node.faults.node_down.push_back(
-        storage::NodeDownEvent{0, util::SimTime::from_millis(1.0)});
+        storage::NodeDownEvent{util::NodeIndex{0}, util::SimTime::from_millis(1.0)});
     const workload::Workload w = cluster_workload(24);
     core::TurbulenceCluster cluster(config);
     const core::ClusterReport report = cluster.run(w);
@@ -547,7 +547,7 @@ TEST(Failover, NodeDeathWithReplicationCompletesEverything) {
     config.nodes = 2;
     config.replication = 2;
     config.node.faults.node_down.push_back(
-        storage::NodeDownEvent{0, util::SimTime::from_millis(1.0)});
+        storage::NodeDownEvent{util::NodeIndex{0}, util::SimTime::from_millis(1.0)});
     const workload::Workload w = cluster_workload(24);
     core::TurbulenceCluster cluster(config);
     const core::ClusterReport report = cluster.run(w);
@@ -565,7 +565,7 @@ TEST(Failover, DeathAfterCompletionRequiresNoRecovery) {
     config.nodes = 2;
     config.replication = 2;
     config.node.faults.node_down.push_back(
-        storage::NodeDownEvent{0, util::SimTime::from_seconds(1e6)});
+        storage::NodeDownEvent{util::NodeIndex{0}, util::SimTime::from_seconds(1e6)});
     const workload::Workload w = cluster_workload(10);
     core::TurbulenceCluster cluster(config);
     const core::ClusterReport report = cluster.run(w);

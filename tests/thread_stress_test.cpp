@@ -136,7 +136,7 @@ core::ClusterConfig stress_cluster_config() {
     // Kill a node mid-run so the failover/recovery path runs concurrently
     // with the surviving nodes' engines.
     config.node.faults.node_down.push_back(
-        storage::NodeDownEvent{1, util::SimTime::from_seconds(30.0)});
+        storage::NodeDownEvent{util::NodeIndex{1}, util::SimTime::from_seconds(30.0)});
     return config;
 }
 
