@@ -1,0 +1,127 @@
+// Fuzz harness for the batched interpolation kernel.
+//
+// Decodes the input into a small grid spec (atom side, atoms per side,
+// ghost width), a synthetic-field seed, an interpolation order the ghost
+// region can support (order/2 <= ghost, the face-sample placement bound
+// documented at kernel_window), and a batch of positions inside one atom —
+// biased toward the adversarial placements: exactly on atom faces, in the
+// ghost overlap, and on the torus wrap. The oracle is exact equivalence:
+//
+//   * field::BatchInterpolator must reproduce the scalar field::interpolate
+//     result for every position, bit for bit (memcmp over FlowSample);
+//   * the batched result must be invariant under any permutation of the
+//     input batch (outputs land in input slots, so the Morton-blocked
+//     traversal order must never leak into the results);
+//   * every produced sample is finite (Lagrange weights of in-range fracs
+//     are finite, and voxel data is bounded).
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "field/batch_interpolator.h"
+#include "field/grid.h"
+#include "field/interpolation.h"
+#include "field/synthetic_field.h"
+#include "fuzz_input.h"
+#include "util/morton.h"
+
+namespace {
+
+using jaws::fuzz::FuzzInput;
+
+constexpr std::size_t kMaxPositions = 64;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    namespace field = jaws::field;
+    FuzzInput in(data, size);
+
+    field::GridSpec grid;
+    grid.atom_side = 4u << in.below(3);              // 4, 8 or 16
+    grid.ghost = static_cast<std::uint32_t>(in.range(2, 4));
+    const auto aps = static_cast<std::uint32_t>(in.range(1, 4));
+    grid.voxels_per_side = grid.atom_side * aps;
+    grid.timesteps = 2;
+
+    // Orders the ghost region can hold a face-adjacent window for: a sample
+    // exactly on an atom face places its window order/2 voxels into the
+    // ghost layer, so order/2 must not exceed ghost.
+    field::InterpOrder orders[4];
+    std::size_t norders = 0;
+    for (const field::InterpOrder o : {field::InterpOrder::kLinear, field::InterpOrder::kLag4,
+                                       field::InterpOrder::kLag6, field::InterpOrder::kLag8})
+        if (static_cast<std::uint32_t>(o) / 2 <= grid.ghost) orders[norders++] = o;
+    const field::InterpOrder order = orders[in.below(norders)];
+
+    field::FieldSpec fspec;
+    fspec.seed = in.u64();
+    fspec.modes = static_cast<std::size_t>(in.range(1, 4));
+    const field::SyntheticField synth(fspec);
+
+    const jaws::util::Coord3 atom{static_cast<std::uint32_t>(in.below(aps)),
+                                  static_cast<std::uint32_t>(in.below(aps)),
+                                  static_cast<std::uint32_t>(in.below(aps))};
+    const std::uint32_t t = static_cast<std::uint32_t>(in.below(grid.timesteps));
+    const field::VoxelBlock block(grid, synth, atom, t);
+
+    const std::size_t count = in.below(kMaxPositions) + 1;
+    const double aext = 1.0 / aps;
+    std::vector<field::Vec3> positions(count);
+    for (field::Vec3& p : positions) {
+        // Per-axis: an interior point, or snapped exactly to the lower/upper
+        // atom face. The lower face of atom 0 sits at the torus wrap: its
+        // sample window reads ghost voxels replicated from the far end of
+        // the domain. The upper face of the *last* atom wraps to 0.0, which
+        // belongs to atom 0, so that face is exercised as atom 0's lower
+        // face instead (the position must stay inside the atom under test).
+        const auto axis = [&](std::uint32_t atom_c) {
+            switch (in.below(4)) {
+                case 0:
+                    if (atom_c + 1 < aps || aps == 1)
+                        return field::wrap01((atom_c + 1.0) * aext);  // upper face
+                    return atom_c * aext;
+                case 1: return atom_c * aext;  // lower face
+                default: return (atom_c + in.unit_range(0.0, 1.0)) * aext;
+            }
+        };
+        p = field::Vec3{axis(atom.x), axis(atom.y), axis(atom.z)};
+    }
+
+    // Scalar reference, one position at a time.
+    std::vector<field::FlowSample> scalar(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        scalar[i] = field::interpolate(grid, block, atom, positions[i], order);
+        JAWS_FUZZ_REQUIRE(std::isfinite(scalar[i].velocity.x) &&
+                              std::isfinite(scalar[i].velocity.y) &&
+                              std::isfinite(scalar[i].velocity.z) &&
+                              std::isfinite(scalar[i].pressure),
+                          "scalar interpolation produced a non-finite sample");
+    }
+
+    field::BatchInterpolator interp;
+    std::vector<field::FlowSample> batched(count);
+    interp.evaluate(grid, block, atom, positions.data(), count, order, batched.data());
+    JAWS_FUZZ_REQUIRE(std::memcmp(batched.data(), scalar.data(),
+                                  count * sizeof(field::FlowSample)) == 0,
+                      "batched kernel diverged from the scalar reference");
+
+    // Permutation invariance: evaluate a deterministic shuffle of the batch
+    // and map the outputs back through the inverse permutation.
+    std::vector<std::size_t> perm(count);
+    for (std::size_t i = 0; i < count; ++i) perm[i] = i;
+    for (std::size_t i = count; i > 1; --i) {
+        const std::size_t j = in.below(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    std::vector<field::Vec3> shuffled(count);
+    for (std::size_t i = 0; i < count; ++i) shuffled[i] = positions[perm[i]];
+    std::vector<field::FlowSample> shuffled_out(count);
+    interp.evaluate(grid, block, atom, shuffled.data(), count, order, shuffled_out.data());
+    for (std::size_t i = 0; i < count; ++i)
+        JAWS_FUZZ_REQUIRE(std::memcmp(&shuffled_out[i], &scalar[perm[i]],
+                                      sizeof(field::FlowSample)) == 0,
+                          "batched result depends on the input order");
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Batched, SIMD-friendly Lagrange interpolation.
+//
+// The scalar kernel in interpolation.h evaluates one position at a time:
+// per position it recomputes the window placement, gathers voxels through
+// VoxelBlock::at() (four plane lookups and a struct round trip per voxel)
+// and runs variable-trip-count loops the compiler cannot unroll. Profiles
+// (BENCH_parallel_eval.json) put this kernel at ~2/3 of a materialized run's
+// wall time, and on few-core hosts the evaluation thread pool cannot help.
+//
+// BatchInterpolator restructures the same computation over a whole batch of
+// positions against one VoxelBlock:
+//
+//   1. *Morton-blocked traversal* — positions are sorted by the Morton code
+//      of their local sample-window origin (stable, index tie-broken), so
+//      consecutive stencils touch overlapping cache lines instead of
+//      striding across the 6 MB block in arrival order.
+//   2. *Struct-of-arrays weight planes* — the separable per-axis Lagrange
+//      weights of the whole batch are computed up front into contiguous
+//      wx/wy/wz planes (order doubles per position, lagrange_weight_planes),
+//      not into per-position stack arrays.
+//   3. *Fixed-trip-count vectorizable stencil* — the order^3 accumulation is
+//      instantiated per order (template<int N>), reading unit-stride rows of
+//      the VoxelBlock's interleaved payload with four independent accumulator
+//      chains. All four channels of a voxel are contiguous and share one
+//      weight, so the SLP vectoriser packs the channel multiply-adds into
+//      vector lanes without intrinsics (scripts/check_vectorization.py pins
+//      that the stencil actually vectorizes).
+//
+// Results are **bit-identical** to interpolate() called per position: window
+// placement and weights share the scalar arithmetic (kernel_window /
+// lagrange_weights), each output slot's accumulation chain runs in the same
+// iz -> iy -> ix order with the same operand expressions, and the build pins
+// -ffp-contract=off so no FMA contraction can split the two paths. Output
+// slot i always corresponds to positions[i] regardless of the internal
+// traversal order, so digests folded over outputs are order-independent of
+// the blocking. The equivalence, property and fuzz suites pin all of this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "field/grid.h"
+#include "field/interpolation.h"
+
+namespace jaws::field {
+
+/// Reusable batched evaluator. Holds scratch (weight planes, placement and
+/// traversal arrays) that regrows to the largest batch seen, so steady-state
+/// evaluation allocates nothing. Not thread-safe; use one instance per
+/// thread (storage::DatabaseNode keeps a thread_local one).
+class BatchInterpolator {
+  public:
+    /// Evaluate `count` positions of atom `atom` against `block`, writing
+    /// out[i] for positions[i]. Same preconditions as interpolate(): every
+    /// position falls inside the atom and the kernel fits the ghost region.
+    void evaluate(const GridSpec& grid, const VoxelBlock& block, const util::Coord3& atom,
+                  const Vec3* positions, std::size_t count, InterpOrder order,
+                  FlowSample* out);
+
+    /// Convenience overload: resizes `out` to positions.size().
+    void evaluate(const GridSpec& grid, const VoxelBlock& block, const util::Coord3& atom,
+                  const std::vector<Vec3>& positions, InterpOrder order,
+                  std::vector<FlowSample>& out);
+
+  private:
+    /// Batches smaller than this skip the Morton sort: the key build + sort
+    /// cost more than the locality they buy on a handful of stencils.
+    static constexpr std::size_t kSortThreshold = 32;
+
+    template <int N>
+    void run(const VoxelBlock& block, FlowSample* out) const;
+
+    /// Per-position window origin, packed for the sort/evaluate passes.
+    struct Window {
+        std::uint32_t lx0, ly0, lz0;
+    };
+
+    std::vector<Window> windows_;
+    std::vector<double> fx_, fy_, fz_;  // per-axis fracs, SoA
+    std::vector<double> wx_, wy_, wz_;  // weight planes, stride = order
+    std::vector<std::uint64_t> seq_;    // (morton key << 32 | index) visit order
+};
+
+}  // namespace jaws::field

@@ -69,7 +69,7 @@ VoxelBlock::VoxelBlock(const GridSpec& grid, const SyntheticField& field,
     : extent_(grid.atom_side + 2 * grid.ghost) {
     assert(atom.x < grid.atoms_per_side() && atom.y < grid.atoms_per_side() &&
            atom.z < grid.atoms_per_side());
-    data_.resize(static_cast<std::size_t>(extent_) * extent_ * extent_ * 4);
+    data_.resize(static_cast<std::size_t>(extent_) * extent_ * extent_ * kChannels);
     const double sim_t = grid.sim_time(t);
     const double inv = 1.0 / grid.voxels_per_side;
     const auto n = static_cast<std::int64_t>(grid.voxels_per_side);
@@ -90,19 +90,20 @@ VoxelBlock::VoxelBlock(const GridSpec& grid, const SyntheticField& field,
                              (static_cast<double>(gv(atom.y, iy)) + 0.5) * inv,
                              (static_cast<double>(gv(atom.z, iz)) + 0.5) * inv};
                 const FlowSample s = field.sample(p, sim_t);
-                data_[w++] = static_cast<float>(s.velocity.x);
-                data_[w++] = static_cast<float>(s.velocity.y);
-                data_[w++] = static_cast<float>(s.velocity.z);
-                data_[w++] = static_cast<float>(s.pressure);
+                data_[w + 0] = static_cast<float>(s.velocity.x);
+                data_[w + 1] = static_cast<float>(s.velocity.y);
+                data_[w + 2] = static_cast<float>(s.velocity.z);
+                data_[w + 3] = static_cast<float>(s.pressure);
+                w += kChannels;
             }
         }
     }
 }
 
 FlowSample VoxelBlock::at(std::uint32_t ix, std::uint32_t iy, std::uint32_t iz) const noexcept {
-    const std::size_t i = index(ix, iy, iz);
+    const std::size_t i = kChannels * voxel_index(ix, iy, iz);
     FlowSample s;
-    s.velocity = Vec3{data_[i], data_[i + 1], data_[i + 2]};
+    s.velocity = Vec3{data_[i + 0], data_[i + 1], data_[i + 2]};
     s.pressure = data_[i + 3];
     return s;
 }

@@ -6,8 +6,16 @@
 // per atom face exists precisely so an 8th-order kernel can be evaluated from
 // a single atom). This module implements the tensor-product kernels and the
 // mapping from a continuous position to the sample window inside a VoxelBlock.
+//
+// Two evaluation paths share the placement and weight arithmetic here:
+//   * interpolate()            — the scalar reference kernel, one position at
+//                                a time;
+//   * field::BatchInterpolator — the batched, cache-blocked, vectorizable
+//                                kernel (batch_interpolator.h), bit-identical
+//                                to the scalar path by construction.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "field/grid.h"
@@ -24,8 +32,33 @@ std::uint32_t kernel_half_width(InterpOrder order) noexcept;
 
 /// Compute the `order` 1-D Lagrange basis weights for a query point at
 /// fractional offset `frac` in [0, 1) from the node at index order/2 - 1.
-/// `weights` must have room for `order` doubles; they sum to 1.
+/// `weights` must have room for `order` doubles; they sum to 1 (audited, rate
+/// limited, under JAWS_AUDIT_BUILD — see detail::audit_weight_sum).
 void lagrange_weights(double frac, InterpOrder order, double* weights) noexcept;
+
+/// Batched form: the `order` weights of every entry of `fracs` written
+/// contiguously at stride `order` into the struct-of-arrays `plane`
+/// (plane[i * order + j] = weight j of fracs[i]). Each entry is computed by
+/// the same arithmetic as lagrange_weights, so the planes are bit-identical
+/// to `count` scalar calls.
+void lagrange_weight_planes(const double* fracs, std::size_t count, InterpOrder order,
+                            double* plane) noexcept;
+
+/// Placement of one position's order^3 sample window inside a VoxelBlock:
+/// the local window origin per axis and the fractional offsets that feed
+/// lagrange_weights. Factored out so the scalar and batched kernels place
+/// the window with identical arithmetic (bit-exactness depends on it).
+struct KernelWindow {
+    std::int64_t lx0 = 0, ly0 = 0, lz0 = 0;  ///< Local origin inside the block.
+    double fx = 0.0, fy = 0.0, fz = 0.0;     ///< Fractional offsets in [0, 1).
+};
+
+/// Compute the sample-window placement of torus position `p` inside the block
+/// of atom `atom` for a kernel of `order`. The window is guaranteed inside
+/// the block when kernel_half_width(order) <= grid.ghost (callers pick grid
+/// specs that satisfy this; the production layout does).
+KernelWindow kernel_window(const GridSpec& grid, const util::Coord3& atom, const Vec3& p,
+                           InterpOrder order) noexcept;
 
 /// Interpolate velocity + pressure at continuous torus position `p` from the
 /// voxel payload of atom `atom` (time step already baked into `block`).
@@ -34,5 +67,14 @@ void lagrange_weights(double frac, InterpOrder order, double* weights) noexcept;
 /// satisfy this (the production layout does).
 FlowSample interpolate(const GridSpec& grid, const VoxelBlock& block,
                        const util::Coord3& atom, const Vec3& p, InterpOrder order) noexcept;
+
+namespace detail {
+/// Rate-limited partition-of-unity audit: every 256th call re-sums a weight
+/// vector and reports a contract violation when it strays from 1 (the header
+/// contract "they sum to 1" was previously documented but unenforced).
+/// Invoked from lagrange_weights under JAWS_AUDIT only; callable directly
+/// from tests in any build.
+void audit_weight_sum(const double* weights, int n) noexcept;
+}  // namespace detail
 
 }  // namespace jaws::field

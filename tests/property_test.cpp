@@ -10,17 +10,23 @@
 //     exceeds channels * elapsed, and started + discarded == submitted;
 //   * DiskModel — ledger conservation: charged service equals rendered
 //     service minus clamped refunds, and the ledger never goes negative;
-//   * util::percentile — monotone in p and bounded by the sample extremes.
+//   * util::percentile — monotone in p and bounded by the sample extremes;
+//   * field::lagrange_weights — partition of unity, polynomial reproduction
+//     up to degree order-1, symmetry at frac = 0.5 and finiteness over
+//     [0, 1), with the batched plane writer bitwise equal to the scalar one.
 //
 // The harness is deterministic (fixed seeds, no wall clock); a failure
 // prints a shrunk choice stream that reproduces forever.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "field/interpolation.h"
 #include "proptest.h"
 #include "storage/disk_model.h"
 #include "util/event_queue.h"
@@ -205,6 +211,106 @@ std::string percentile_monotone(Gen& g) {
     return "";
 }
 
+// --- Lagrange weights (field/interpolation.h) ------------------------------
+
+constexpr field::InterpOrder kOrders[] = {field::InterpOrder::kLinear,
+                                          field::InterpOrder::kLag4,
+                                          field::InterpOrder::kLag6,
+                                          field::InterpOrder::kLag8};
+
+// Partition of unity at every order, and the batched plane writer bitwise
+// equal to the scalar writer for the same fracs.
+std::string weights_partition_of_unity(Gen& g) {
+    const field::InterpOrder order = kOrders[g.below(4)];
+    const int n = static_cast<int>(order);
+    const std::size_t count = g.below(32) + 1;
+    std::vector<double> fracs(count);
+    for (double& f : fracs) f = g.unit();
+    if (count > 1) fracs[0] = 0.0;  // the exact node is a boundary case
+    std::vector<double> planes(count * static_cast<std::size_t>(n));
+    field::lagrange_weight_planes(fracs.data(), count, order, planes.data());
+    for (std::size_t i = 0; i < count; ++i) {
+        double scalar[8];
+        field::lagrange_weights(fracs[i], order, scalar);
+        if (std::memcmp(scalar, &planes[i * static_cast<std::size_t>(n)],
+                        static_cast<std::size_t>(n) * sizeof(double)) != 0)
+            return "batched weight plane is not bitwise equal to the scalar weights";
+        double sum = 0.0;
+        for (int k = 0; k < n; ++k) sum += scalar[k];
+        if (!(std::fabs(sum - 1.0) <= 1e-9))
+            return "weights of order " + std::to_string(n) + " sum to " +
+                   std::to_string(sum) + " at frac " + std::to_string(fracs[i]);
+    }
+    return "";
+}
+
+// Exact reproduction of polynomials up to degree order - 1: interpolating
+// p(x) at the integer nodes and evaluating at `frac` must reproduce p(frac)
+// up to rounding in the basis (scaled tolerance, not bitwise).
+std::string weights_reproduce_polynomials(Gen& g) {
+    const field::InterpOrder order = kOrders[g.below(4)];
+    const int n = static_cast<int>(order);
+    const int degree = static_cast<int>(g.below(static_cast<std::uint64_t>(n)));
+    double coeff[8];
+    for (int d = 0; d <= degree; ++d) coeff[d] = g.in_real(-1.0, 1.0);
+    const auto poly = [&](double x) {
+        double acc = 0.0;
+        for (int d = degree; d >= 0; --d) acc = acc * x + coeff[d];
+        return acc;
+    };
+    const double frac = g.unit();
+    double w[8];
+    field::lagrange_weights(frac, order, w);
+    double acc = 0.0, scale = 1.0;
+    for (int i = 0; i < n; ++i) {
+        const double node = static_cast<double>(i - (n / 2 - 1));
+        acc += w[i] * poly(node);
+        scale += std::fabs(w[i] * poly(node));
+    }
+    if (!(std::fabs(acc - poly(frac)) <= 1e-10 * scale))
+        return "order " + std::to_string(n) + " failed to reproduce a degree-" +
+               std::to_string(degree) + " polynomial at frac " + std::to_string(frac) +
+               " (got " + std::to_string(acc) + ", want " + std::to_string(poly(frac)) +
+               ")";
+    return "";
+}
+
+// The node layout is symmetric about frac = 0.5, so the weights must be too
+// (to rounding: the mirrored products associate differently).
+std::string weights_symmetric_at_half(Gen& g) {
+    const field::InterpOrder order = kOrders[g.below(4)];
+    const int n = static_cast<int>(order);
+    double w[8];
+    field::lagrange_weights(0.5, order, w);
+    for (int i = 0; i < n / 2; ++i)
+        if (!(std::fabs(w[i] - w[n - 1 - i]) <= 1e-14))
+            return "order " + std::to_string(n) + " weights not symmetric at 0.5 (w[" +
+                   std::to_string(i) + "]=" + std::to_string(w[i]) + ", mirror " +
+                   std::to_string(w[n - 1 - i]) + ")";
+    return "";
+}
+
+// Finite weights for every frac in [0, 1), including the endpoints' closest
+// representable neighbours.
+std::string weights_finite(Gen& g) {
+    const field::InterpOrder order = kOrders[g.below(4)];
+    const int n = static_cast<int>(order);
+    double frac;
+    switch (g.below(4)) {
+        case 0: frac = 0.0; break;
+        case 1: frac = std::nextafter(1.0, 0.0); break;
+        case 2: frac = std::nextafter(0.0, 1.0); break;
+        default: frac = g.unit(); break;
+    }
+    double w[8];
+    field::lagrange_weights(frac, order, w);
+    for (int i = 0; i < n; ++i)
+        if (!std::isfinite(w[i]))
+            return "order " + std::to_string(n) + " weight " + std::to_string(i) +
+                   " not finite at frac " + std::to_string(frac);
+    return "";
+}
+
 TEST(Property, EventQueueCausality) {
     const Outcome o = proptest::check(Config{}, event_queue_causality);
     EXPECT_TRUE(o.ok) << o.message;
@@ -227,6 +333,26 @@ TEST(Property, DiskLedgerConservation) {
 
 TEST(Property, PercentileMonotoneAndBounded) {
     const Outcome o = proptest::check(Config{}, percentile_monotone);
+    EXPECT_TRUE(o.ok) << o.message;
+}
+
+TEST(Property, LagrangeWeightsPartitionOfUnity) {
+    const Outcome o = proptest::check(Config{}, weights_partition_of_unity);
+    EXPECT_TRUE(o.ok) << o.message;
+}
+
+TEST(Property, LagrangeWeightsReproducePolynomials) {
+    const Outcome o = proptest::check(Config{}, weights_reproduce_polynomials);
+    EXPECT_TRUE(o.ok) << o.message;
+}
+
+TEST(Property, LagrangeWeightsSymmetricAtHalf) {
+    const Outcome o = proptest::check(Config{}, weights_symmetric_at_half);
+    EXPECT_TRUE(o.ok) << o.message;
+}
+
+TEST(Property, LagrangeWeightsFinite) {
+    const Outcome o = proptest::check(Config{}, weights_finite);
     EXPECT_TRUE(o.ok) << o.message;
 }
 
